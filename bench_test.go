@@ -1,0 +1,196 @@
+package pastis
+
+// One benchmark per table and figure of the paper's evaluation, wrapping
+// the experiment harness at reduced scale (see internal/experiments and
+// EXPERIMENTS.md). Each benchmark regenerates the corresponding rows and
+// reports the row count; run cmd/pastis-bench to see the tables themselves.
+//
+// Additional ablation benchmarks cover the design choices DESIGN.md calls
+// out; the remaining micro-benchmarks live next to their packages
+// (spmat: hash vs heap SpGEMM; subkmer: heap vs naive neighbor search;
+// align: SW vs x-drop).
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps each experiment benchmark in the seconds range.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:     "bench",
+		DatasetA: 100, DatasetB: 200,
+		NodesSmall:     []int{1, 4, 16, 64},
+		ScalingDataset: 200,
+		NodesLarge:     []int{16, 64, 256},
+		WeakBase:       80,
+		WeakNodes:      []int{4, 16, 64},
+		ScopeFamilies:  8,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		b.ReportMetric(float64(len(table.Rows)), "rows")
+	}
+	b.StopTimer()
+	experiments.Reset()
+}
+
+// BenchmarkFig12PastisVariants regenerates Fig. 12 (runtime of the eight
+// PASTIS variants on two datasets across node counts).
+func BenchmarkFig12PastisVariants(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Comparison regenerates Fig. 13 (PASTIS vs MMseqs2-like vs
+// LAST-like runtime).
+func BenchmarkFig13Comparison(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkTable1AlignmentPct regenerates Table I (alignment time share).
+func BenchmarkTable1AlignmentPct(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig14StrongScaling regenerates Fig. 14 left (strong scaling of
+// the sparse matrix pipeline).
+func BenchmarkFig14StrongScaling(b *testing.B) { runExperiment(b, "fig14strong") }
+
+// BenchmarkFig14WeakScaling regenerates Fig. 14 right (weak scaling).
+func BenchmarkFig14WeakScaling(b *testing.B) { runExperiment(b, "fig14weak") }
+
+// BenchmarkFig15Dissection regenerates Fig. 15 (component time shares).
+func BenchmarkFig15Dissection(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16ComponentScaling regenerates Fig. 16 (per-component
+// scaling curves).
+func BenchmarkFig16ComponentScaling(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17PrecisionRecall regenerates Fig. 17 (precision/recall of
+// PASTIS, MMseqs2-like and LAST-like after MCL clustering).
+func BenchmarkFig17PrecisionRecall(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkTable2ConnectedComponents regenerates Table II (connected
+// components as protein families).
+func BenchmarkTable2ConnectedComponents(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkClaims re-measures the quantitative statements quoted in the
+// paper's running text (alignment multipliers, nonzero growth,
+// hypersparsity, process obliviousness).
+func BenchmarkClaims(b *testing.B) { runExperiment(b, "claims") }
+
+// BenchmarkAblations runs the design-choice ablation suite: local SpGEMM
+// kernel, DCSC vs CSC pointer storage, overlapped vs blocking sequence
+// exchange, substitute-k-mer search algorithm, and the Fig. 11 alignment
+// assignment vs the naive idle-processes strawman.
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+
+// BenchmarkBuildGraphEndToEnd measures the whole public-API path on a
+// small dataset (wall time of the simulation itself, not virtual time).
+func BenchmarkBuildGraphEndToEnd(b *testing.B) {
+	data, err := GenerateScopeLike(8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := BuildGraph(data.Records, 16, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Edges)), "edges")
+	}
+}
+
+// BenchmarkAblationOverlap isolates the overlapped vs blocking sequence
+// exchange and reports the virtual wait time of each.
+func BenchmarkAblationOverlap(b *testing.B) {
+	data, err := GenerateMetaclustLike(200, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, blocking := range []bool{false, true} {
+		name := "overlapped"
+		if blocking {
+			name = "blocking"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.CommonKmerThreshold = 1
+			cfg.BlockingExchange = blocking
+			for i := 0; i < b.N; i++ {
+				res, err := BuildGraph(data.Records, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Sections["wait"]*1e6, "virtual_wait_us")
+				b.ReportMetric(res.Time*1e6, "virtual_total_us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTriangle isolates the Fig. 11 computation-to-data
+// assignment against the naive idle-lower-grid strawman.
+func BenchmarkAblationTriangle(b *testing.B) {
+	data, err := GenerateMetaclustLike(200, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, naive := range []bool{false, true} {
+		name := "perBlockTriangles"
+		if naive {
+			name = "naiveIdleProcesses"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.NaiveTriangle = naive
+			for i := 0; i < b.N; i++ {
+				res, err := BuildGraph(data.Records, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Sections["align"]*1e6, "virtual_align_us")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLocalSpGEMM compares the hash and heap local kernels
+// inside the full distributed pipeline (wall time; virtual time is equal
+// by construction).
+func BenchmarkAblationLocalSpGEMM(b *testing.B) {
+	data, err := GenerateMetaclustLike(200, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, heap := range []bool{false, true} {
+		name := "hash"
+		if heap {
+			name = "heap"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Align = AlignNone
+			cfg.SubstituteKmers = 10
+			cfg.UseHeapKernel = heap
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildGraph(data.Records, 16, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+// Baseline comparison: the paper's Fig. 13 workflow. Run PASTIS, the
+// MMseqs2-like baseline and the LAST-like baseline on the same dataset and
+// compare virtual runtimes across node counts plus the quality of the
+// edge sets they produce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	data, err := pastis.GenerateMetaclustLike(300, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d sequences\n\n", len(data.Records))
+
+	fmt.Println("tool                 nodes  virtual_s  edges")
+
+	// PASTIS-XD-s0-CK: the paper's fastest variant.
+	cfg := pastis.DefaultConfig()
+	cfg.CommonKmerThreshold = 1
+	for _, nodes := range []int{1, 4, 16, 64} {
+		res, err := pastis.BuildGraph(data.Records, nodes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %5d  %9.4f  %5d\n", "PASTIS-XD-s0-CK", nodes, res.Time, len(res.Edges))
+	}
+
+	// MMseqs2-like at the default sensitivity: fast on one node, but the
+	// serial output stage flattens its scaling (the paper's observation).
+	mcfg := pastis.DefaultMMseqs2Config()
+	for _, nodes := range []int{1, 4, 16, 64} {
+		res, err := pastis.RunMMseqs2Like(data.Records, nodes, mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %5d  %9.4f  %5d\n", "MMseqs2-default", nodes, res.Time, len(res.Edges))
+	}
+
+	// LAST-like: single node by construction.
+	lres, err := pastis.RunLASTLike(data.Records, pastis.DefaultLASTConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %5d  %9.4f  %5d\n", "LAST", 1, lres.Time, len(lres.Edges))
+
+	// Quality: agreement between the PASTIS and MMseqs2-like edge sets.
+	p16, err := pastis.BuildGraph(data.Records, 16, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m16, err := pastis.RunMMseqs2Like(data.Records, 16, mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inPastis := map[[2]int64]bool{}
+	for _, e := range p16.Edges {
+		inPastis[[2]int64{int64(e.R), int64(e.C)}] = true
+	}
+	common := 0
+	for _, e := range m16.Edges {
+		if inPastis[[2]int64{int64(e.R), int64(e.C)}] {
+			common++
+		}
+	}
+	fmt.Printf("\nedge agreement: %d edges found by both (PASTIS %d, MMseqs2-like %d)\n",
+		common, len(p16.Edges), len(m16.Edges))
+}

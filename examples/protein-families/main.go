@@ -1,0 +1,60 @@
+// Protein family detection: the paper's motivating workflow (Fig. 17).
+// Build a similarity graph with substitute k-mers on SCOPe-like data,
+// cluster it with Markov Clustering, and score the clusters against the
+// ground-truth families with weighted precision and recall.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	data, err := pastis.GenerateScopeLike(20, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(data.Records)
+	fmt.Printf("dataset: %d sequences, %d families\n", n, data.NumFam)
+	fmt.Println("\nsubs  edges  clusters  precision  recall")
+
+	// Sweep the substitute k-mer count as the paper does: more substitutes
+	// raise recall (more homologous pairs found) at some precision cost.
+	for _, subs := range []int{0, 10, 25} {
+		cfg := pastis.DefaultConfig()
+		cfg.SubstituteKmers = subs
+
+		res, err := pastis.BuildGraph(data.Records, 16, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusters, err := pastis.ClusterMCL(n, res.Edges)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prec, rec := pastis.PrecisionRecall(clusters, data.Families)
+		nontrivial := 0
+		for _, c := range clusters {
+			if len(c) > 1 {
+				nontrivial++
+			}
+		}
+		fmt.Printf("%4d  %5d  %8d  %9.3f  %6.3f\n",
+			subs, len(res.Edges), nontrivial, prec, rec)
+	}
+
+	// For comparison: raw connected components instead of clustering
+	// (paper Table II) — fine with exact k-mers, poor with substitutes.
+	fmt.Println("\nconnected components instead of MCL (s=25):")
+	cfg := pastis.DefaultConfig()
+	cfg.SubstituteKmers = 25
+	res, err := pastis.BuildGraph(data.Records, 16, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := pastis.ConnectedComponents(n, res.Edges)
+	prec, rec := pastis.PrecisionRecall(comps, data.Families)
+	fmt.Printf("  precision=%.3f recall=%.3f (clustering is indispensable here)\n", prec, rec)
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a protein similarity graph from a synthetic dataset
+// with the default PASTIS configuration and print the strongest edges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	// A small SCOPe-like dataset: 10 protein families plus noise sequences,
+	// deterministic for the given seed.
+	data, err := pastis.GenerateScopeLike(10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d sequences in %d families (plus noise)\n",
+		len(data.Records), data.NumFam)
+
+	// Default configuration: k=6 exact k-mer matching, x-drop alignment,
+	// ANI weights with the 30%/70% identity/coverage filters.
+	cfg := pastis.DefaultConfig()
+
+	// Run on a simulated 16-node cluster. The resulting graph is identical
+	// for any (square) node count.
+	res, err := pastis.BuildGraph(data.Records, 16, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline: %d pairs aligned, %d edges kept, %.3g virtual seconds on %d nodes\n",
+		res.Stats.PairsAligned, len(res.Edges), res.Time, res.Nodes)
+
+	// Show the ten strongest similarities.
+	edges := append([]pastis.Edge(nil), res.Edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Weight > edges[j].Weight })
+	if len(edges) > 10 {
+		edges = edges[:10]
+	}
+	fmt.Println("\nstrongest edges (identity-weighted):")
+	for _, e := range edges {
+		fmt.Printf("  %-12s %-12s identity=%.2f coverage=%.2f score=%d\n",
+			data.Records[e.R].ID, data.Records[e.C].ID, e.Ident, e.Cov, e.Score)
+	}
+
+	// Members of the same family share the f<NNNN> prefix in their names,
+	// so correct edges are visible at a glance.
+}

@@ -1,0 +1,222 @@
+package pastis
+
+// Integration tests asserting the *shape* of the paper's headline results
+// at reduced scale: who wins, in which direction parameters move the
+// metrics, and where crossovers fall. Absolute values differ from the paper
+// (scaled data, virtual clock); EXPERIMENTS.md records both side by side.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyScale() experiments.Scale {
+	return experiments.Scale{
+		Name:     "integration",
+		DatasetA: 80, DatasetB: 160,
+		NodesSmall:     []int{1, 4, 16, 64},
+		ScalingDataset: 150,
+		NodesLarge:     []int{16, 64, 256},
+		WeakBase:       60,
+		WeakNodes:      []int{4, 16, 64},
+		ScopeFamilies:  6,
+	}
+}
+
+func cell(t *testing.T, row []string, i int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[i], 64)
+	if err != nil {
+		t.Fatalf("cell %d = %q: %v", i, row[i], err)
+	}
+	return v
+}
+
+// Fig. 13 shape: MMseqs2-like beats PASTIS on one node; PASTIS closes the
+// gap with node count and overtakes (paper: "starting around 16 nodes").
+func TestFig13CrossoverShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tinyScale()
+	defer experiments.Reset()
+	tb, err := experiments.Fig13(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect (tool, nodes) -> time for the first dataset.
+	dataset := ""
+	times := map[string]map[int]float64{}
+	for _, row := range tb.Rows {
+		if dataset == "" {
+			dataset = row[1]
+		}
+		if row[1] != dataset {
+			continue
+		}
+		nodes, _ := strconv.Atoi(row[2])
+		if times[row[0]] == nil {
+			times[row[0]] = map[int]float64{}
+		}
+		times[row[0]][nodes] = cell(t, row, 3)
+	}
+	pastisT := times["PASTIS-XD-s0-CK"]
+	mmseqsT := times["MMseqs2-default"]
+	if pastisT == nil || mmseqsT == nil {
+		t.Fatalf("missing tools in %v", times)
+	}
+	maxNodes := 0
+	for n := range pastisT {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	// The paper's structural claim: PASTIS scales better than MMseqs2 (whose
+	// serial output stage flattens its curve) and wins at scale. The 1-node
+	// ordering depends on absolute tool constants the reduced-scale virtual
+	// model does not reproduce (see EXPERIMENTS.md).
+	if pastisT[maxNodes] >= mmseqsT[maxNodes] {
+		t.Errorf("at %d nodes PASTIS should win: pastis %g vs mmseqs %g",
+			maxNodes, pastisT[maxNodes], mmseqsT[maxNodes])
+	}
+	if pastisT[maxNodes] >= pastisT[1] {
+		t.Errorf("PASTIS did not scale: %g @1 vs %g @%d", pastisT[1], pastisT[maxNodes], maxNodes)
+	}
+	// MMseqs2's serial output stage must keep it well below ideal scaling.
+	mmseqsSpeedup := mmseqsT[1] / mmseqsT[maxNodes]
+	if mmseqsSpeedup > float64(maxNodes)/2 {
+		t.Errorf("MMseqs2 speedup %.1fx at %d nodes looks ideal; the serial stage should flatten it",
+			mmseqsSpeedup, maxNodes)
+	}
+}
+
+// Table I shape: SW spends a larger fraction of time aligning than XD, and
+// the CK threshold reduces that fraction drastically.
+func TestTable1AlignmentShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tinyScale()
+	sc.NodesSmall = []int{4}
+	defer experiments.Reset()
+	tb, err := experiments.Table1(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := map[string]float64{}
+	for _, row := range tb.Rows {
+		if row[1] != tb.Rows[0][1] { // first dataset only
+			continue
+		}
+		v, err := strconv.ParseFloat(row[3][:len(row[3])-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pct[row[0]] = v
+	}
+	if pct["PASTIS-SW-s0"] <= pct["PASTIS-XD-s0"] {
+		t.Errorf("SW align%% (%g) should exceed XD (%g)",
+			pct["PASTIS-SW-s0"], pct["PASTIS-XD-s0"])
+	}
+	if pct["PASTIS-SW-s0-CK"] >= pct["PASTIS-SW-s0"] {
+		t.Errorf("CK should cut SW align%%: %g vs %g",
+			pct["PASTIS-SW-s0-CK"], pct["PASTIS-SW-s0"])
+	}
+	if pct["PASTIS-XD-s25-CK"] >= pct["PASTIS-XD-s25"] {
+		t.Errorf("CK should cut XD-s25 align%%: %g vs %g",
+			pct["PASTIS-XD-s25-CK"], pct["PASTIS-XD-s25"])
+	}
+}
+
+// Fig. 17 shape: increasing substitute k-mers raises recall; the recall of
+// s=25 exceeds s=0 for both aligners after clustering.
+func TestFig17RecallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tinyScale()
+	defer experiments.Reset()
+	tb, err := experiments.Fig17(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := map[string]float64{}
+	precision := map[string]float64{}
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[1]
+		precision[key] = cell(t, row, 2)
+		recall[key] = cell(t, row, 3)
+	}
+	for _, mode := range []string{"SW", "XD"} {
+		lo := recall["PASTIS-"+mode+"-ANI/s=0"]
+		hi := recall["PASTIS-"+mode+"-ANI/s=25"]
+		if hi <= lo {
+			t.Errorf("%s: s=25 recall (%g) should exceed s=0 (%g)", mode, hi, lo)
+		}
+	}
+	// Everything must stay within meaningful bounds.
+	for k, p := range precision {
+		if p < 0 || p > 1 || recall[k] < 0 || recall[k] > 1 {
+			t.Errorf("%s out of bounds: p=%g r=%g", k, p, recall[k])
+		}
+	}
+}
+
+// Table II shape: without clustering, substitute k-mers collapse precision
+// (connected components merge) while recall rises.
+func TestTable2ComponentCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tinyScale()
+	defer experiments.Reset()
+	tb, err := experiments.Table2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p0, p50, r0, r50 float64
+	for _, row := range tb.Rows {
+		if row[0] == "PASTIS-SW" && row[1] == "s=0" {
+			p0, r0 = cell(t, row, 2), cell(t, row, 3)
+		}
+		if row[0] == "PASTIS-SW" && row[1] == "s=50" {
+			p50, r50 = cell(t, row, 2), cell(t, row, 3)
+		}
+	}
+	if p50 >= p0 {
+		t.Errorf("component precision should collapse with s: %g (s=0) vs %g (s=50)", p0, p50)
+	}
+	if r50 < r0 {
+		t.Errorf("component recall should not drop with s: %g (s=0) vs %g (s=50)", r0, r50)
+	}
+}
+
+// Claims: the quantitative text statements hold in direction.
+func TestClaimsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	sc := tinyScale()
+	defer experiments.Reset()
+	tb, err := experiments.Claims(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClaim := map[string]string{}
+	for _, row := range tb.Rows {
+		byClaim[row[0]] = row[2]
+	}
+	if got := byClaim["PSG identical for p in {1,4,9,16}"]; got != "yes" {
+		t.Errorf("process obliviousness: %s", got)
+	}
+	var ratio float64
+	if _, err := fmt.Sscanf(byClaim["alignments s=25 / s=0"], "%fx", &ratio); err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 2 {
+		t.Errorf("substitute k-mers should multiply alignments, got %gx", ratio)
+	}
+}

@@ -1,0 +1,441 @@
+// Package align implements the pairwise protein alignment kernels PASTIS
+// offloads to SeqAn (paper Section IV-E): Smith-Waterman local alignment
+// with affine gaps (Gotoh) and seed-and-extend alignment with gapped x-drop
+// termination, plus the alignment statistics the similarity filter needs
+// (identity/ANI, shorter-sequence coverage, normalized score NS).
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/scoring"
+)
+
+// Scoring bundles the substitution matrix with affine gap penalties.
+// A gap of length L costs Open + L*Extend (BLAST convention; the paper uses
+// BLOSUM62 with open 11, extend 1).
+type Scoring struct {
+	Matrix    *scoring.Matrix
+	GapOpen   int
+	GapExtend int
+}
+
+// DefaultScoring is the paper's alignment configuration.
+func DefaultScoring() Scoring {
+	return Scoring{Matrix: scoring.BLOSUM62, GapOpen: 11, GapExtend: 1}
+}
+
+// Result describes one pairwise alignment.
+type Result struct {
+	Score    int
+	Matches  int // identical aligned residue pairs
+	AlignLen int // alignment columns including gaps
+	// Aligned half-open spans within each input sequence.
+	BeginA, EndA int
+	BeginB, EndB int
+	// Cells is the number of DP cells evaluated, the work measure used to
+	// charge the virtual clock for alignment time.
+	Cells int64
+}
+
+// Identity returns the fraction of identical columns (the paper's ANI edge
+// weight); zero-length alignments have identity 0.
+func (r Result) Identity() float64 {
+	if r.AlignLen == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.AlignLen)
+}
+
+// CoverageShorter returns the aligned fraction of the shorter sequence,
+// the quantity the paper's 70% coverage filter thresholds.
+func (r Result) CoverageShorter(lenA, lenB int) float64 {
+	short := lenA
+	span := r.EndA - r.BeginA
+	if lenB < lenA {
+		short = lenB
+		span = r.EndB - r.BeginB
+	}
+	if short == 0 {
+		return 0
+	}
+	return float64(span) / float64(short)
+}
+
+// NormalizedScore is the paper's NS measure: raw score over the shorter
+// sequence length (no trace-back required, hence cheaper than ANI).
+func (r Result) NormalizedScore(lenA, lenB int) float64 {
+	short := lenA
+	if lenB < lenA {
+		short = lenB
+	}
+	if short == 0 {
+		return 0
+	}
+	return float64(r.Score) / float64(short)
+}
+
+const negInf = int32(-1 << 28)
+
+// Traceback direction encoding, packed one byte per cell:
+// bits 0-1: H source (0 stop, 1 diag, 2 from E, 3 from F);
+// bit 2: E extends a gap (vs opens from H); bit 3: same for F.
+const (
+	hStop    = 0
+	hDiag    = 1
+	hFromE   = 2
+	hFromF   = 3
+	eExtends = 1 << 2
+	fExtends = 1 << 3
+)
+
+// SmithWaterman computes the optimal local alignment between code sequences
+// a and b with affine gaps, including traceback statistics.
+func SmithWaterman(a, b []alphabet.Code, sc Scoring) Result {
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return Result{}
+	}
+	openCost := int32(sc.GapOpen + sc.GapExtend)
+	extCost := int32(sc.GapExtend)
+
+	// Rolling score rows; full packed direction matrix for the traceback.
+	width := lb + 1
+	prevH := make([]int32, width)
+	curH := make([]int32, width)
+	prevE := make([]int32, width) // E: gap in a (moves left, consumes b)
+	curE := make([]int32, width)
+	prevF := make([]int32, width) // F: gap in b (moves up, consumes a)
+	curF := make([]int32, width)
+	dirs := make([]byte, (la+1)*width)
+
+	for j := 0; j <= lb; j++ {
+		prevE[j], prevF[j] = negInf, negInf
+	}
+	var bestScore int32
+	bestI, bestJ := 0, 0
+
+	for i := 1; i <= la; i++ {
+		curH[0], curE[0], curF[0] = 0, negInf, negInf
+		row := dirs[i*width:]
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			var d byte
+			e := curH[j-1] - openCost
+			if ext := curE[j-1] - extCost; ext > e {
+				e = ext
+				d |= eExtends
+			}
+			curE[j] = e
+			f := prevH[j] - openCost
+			if ext := prevF[j] - extCost; ext > f {
+				f = ext
+				d |= fExtends
+			}
+			curF[j] = f
+			diag := prevH[j-1] + int32(sc.Matrix.Score(ai, b[j-1]))
+			h := int32(0)
+			src := byte(hStop)
+			if diag > h {
+				h, src = diag, hDiag
+			}
+			if e > h {
+				h, src = e, hFromE
+			}
+			if f > h {
+				h, src = f, hFromF
+			}
+			curH[j] = h
+			row[j] = d | src
+			if h > bestScore {
+				bestScore, bestI, bestJ = h, i, j
+			}
+		}
+		prevH, curH = curH, prevH
+		prevE, curE = curE, prevE
+		prevF, curF = curF, prevF
+	}
+	if bestScore <= 0 {
+		return Result{Cells: int64(la) * int64(lb)}
+	}
+
+	// Traceback from the best cell down to the first zero cell.
+	res := Result{Score: int(bestScore), EndA: bestI, EndB: bestJ, Cells: int64(la) * int64(lb)}
+	i, j := bestI, bestJ
+	inH := true
+	var gapLayer byte
+	for i > 0 && j > 0 {
+		d := dirs[i*width+j]
+		if inH {
+			switch d & 3 {
+			case hStop:
+				res.BeginA, res.BeginB = i, j
+				return res
+			case hDiag:
+				if a[i-1] == b[j-1] {
+					res.Matches++
+				}
+				res.AlignLen++
+				i--
+				j--
+			case hFromE:
+				inH, gapLayer = false, eExtends
+			case hFromF:
+				inH, gapLayer = false, fExtends
+			}
+			continue
+		}
+		// Inside a gap run: consume one gapped column, then either keep
+		// extending the run or return to the H layer where it was opened.
+		res.AlignLen++
+		var extends bool
+		if gapLayer == eExtends {
+			extends = d&eExtends != 0
+			j--
+		} else {
+			extends = d&fExtends != 0
+			i--
+		}
+		if !extends {
+			inH = true
+		}
+	}
+	res.BeginA, res.BeginB = i, j
+	return res
+}
+
+// XDropParams configures seed-and-extend alignment.
+type XDropParams struct {
+	Scoring Scoring
+	XDrop   int // terminate extension when score falls X below the best
+}
+
+// DefaultXDrop uses the paper's x-drop value of 49.
+func DefaultXDrop() XDropParams {
+	return XDropParams{Scoring: DefaultScoring(), XDrop: 49}
+}
+
+// XDrop aligns a and b by extending a length-k seed anchored at positions
+// seedA/seedB in both directions with gapped x-drop DP (paper Section IV-E:
+// the alignment starts from the shared k-mer position and extends toward
+// both sequence ends). With substitute k-mers the seed residues may
+// mismatch; the seed region is scored against the matrix like any other.
+func XDrop(a, b []alphabet.Code, seedA, seedB, k int, p XDropParams) (Result, error) {
+	if seedA < 0 || seedB < 0 || seedA+k > len(a) || seedB+k > len(b) {
+		return Result{}, fmt.Errorf("align: seed (%d,%d,k=%d) outside sequences %d/%d",
+			seedA, seedB, k, len(a), len(b))
+	}
+	var res Result
+	for i := 0; i < k; i++ {
+		res.Score += p.Scoring.Matrix.Score(a[seedA+i], b[seedB+i])
+		if a[seedA+i] == b[seedB+i] {
+			res.Matches++
+		}
+	}
+	res.AlignLen = k
+
+	r := xdropExtend(a[seedA+k:], b[seedB+k:], p)
+	l := xdropExtend(reverse(a[:seedA]), reverse(b[:seedB]), p)
+
+	res.Score += r.score + l.score
+	res.Matches += r.matches + l.matches
+	res.AlignLen += r.alen + l.alen
+	res.Cells = int64(k) + r.cells + l.cells
+	res.BeginA, res.EndA = seedA-l.extA, seedA+k+r.extA
+	res.BeginB, res.EndB = seedB-l.extB, seedB+k+r.extB
+	return res, nil
+}
+
+func reverse(s []alphabet.Code) []alphabet.Code {
+	out := make([]alphabet.Code, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+type extension struct {
+	score, matches, alen int
+	extA, extB           int
+	cells                int64
+}
+
+// cell carries score plus best-path statistics for the three Gotoh layers.
+type cell struct {
+	h, e, f    int32
+	mh, me, mf int32 // matches along the best path into each layer
+	ah, ae, af int32 // alignment columns along the best path
+}
+
+var deadCell = cell{h: negInf, e: negInf, f: negInf}
+
+// xdropExtend runs gapped extension DP anchored at (0,0) over rows of a,
+// pruning cells whose H score drops more than XDrop below the running best.
+// Scoring work is proportional to the live band per row (rows whose band
+// dies end the extension); row buffers are fully cleared between rows for
+// simplicity, which keeps the worst case at O(len(a)·len(b)) like plain DP.
+// Returns the best-scoring end point with its path statistics.
+func xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
+	if len(a) == 0 || len(b) == 0 {
+		return extension{}
+	}
+	openCost := int32(p.Scoring.GapOpen + p.Scoring.GapExtend)
+	extCost := int32(p.Scoring.GapExtend)
+	x := int32(p.XDrop)
+
+	width := len(b) + 1
+	prev := make([]cell, width)
+	cur := make([]cell, width)
+	for j := range prev {
+		prev[j] = deadCell
+	}
+	prev[0] = cell{h: 0, e: negInf, f: negInf}
+
+	best := extension{}
+	bestScore := int32(0)
+	lo, hi := 0, 0
+
+	// Row 0: a run of E cells (gap consuming b) while they stay above -x.
+	for j := 1; j <= len(b); j++ {
+		left := prev[j-1]
+		e := left.h - openCost
+		me, ae := left.mh, left.ah+1
+		if ext := left.e - extCost; ext > e {
+			e, me, ae = ext, left.me, left.ae+1
+		}
+		best.cells++
+		if e < bestScore-x {
+			break
+		}
+		prev[j] = cell{h: e, e: e, f: negInf, mh: me, me: me, ah: ae, ae: ae}
+		hi = j
+	}
+
+	for i := 1; i <= len(a); i++ {
+		ai := a[i-1]
+		for j := range cur {
+			cur[j] = deadCell
+		}
+		newLo, newHi := -1, -1
+		for j := lo; j <= len(b); j++ {
+			// Beyond the reach of the previous row, only an E chain from the
+			// current row can stay alive; stop once that dies too.
+			if j > hi+1 && (j == 0 || (cur[j-1].h <= negInf && cur[j-1].e <= negInf)) {
+				break
+			}
+			best.cells++
+			c := deadCell
+			if j > 0 {
+				if left := cur[j-1]; left.h > negInf || left.e > negInf {
+					c.e = left.h - openCost
+					c.me, c.ae = left.mh, left.ah+1
+					if ext := left.e - extCost; ext > c.e {
+						c.e, c.me, c.ae = ext, left.me, left.ae+1
+					}
+				}
+			}
+			if up := prev[j]; up.h > negInf || up.f > negInf {
+				c.f = up.h - openCost
+				c.mf, c.af = up.mh, up.ah+1
+				if ext := up.f - extCost; ext > c.f {
+					c.f, c.mf, c.af = ext, up.mf, up.af+1
+				}
+			}
+			if j > 0 {
+				if d := prev[j-1]; d.h > negInf {
+					match := int32(0)
+					if ai == b[j-1] {
+						match = 1
+					}
+					c.h = d.h + int32(p.Scoring.Matrix.Score(ai, b[j-1]))
+					c.mh, c.ah = d.mh+match, d.ah+1
+				}
+			}
+			if c.e > c.h {
+				c.h, c.mh, c.ah = c.e, c.me, c.ae
+			}
+			if c.f > c.h {
+				c.h, c.mh, c.ah = c.f, c.mf, c.af
+			}
+			if c.h < bestScore-x {
+				continue // cell dies; cur[j] stays dead
+			}
+			cur[j] = c
+			if newLo == -1 {
+				newLo = j
+			}
+			newHi = j
+			if c.h > bestScore {
+				bestScore = c.h
+				best = extension{
+					score: int(c.h), matches: int(c.mh), alen: int(c.ah),
+					extA: i, extB: j,
+				}
+			}
+		}
+		if newLo == -1 {
+			break
+		}
+		lo, hi = newLo, newHi
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// UngappedExtend extends an exact diagonal match around a seed in both
+// directions, stopping when the running score drops more than xdrop below
+// the best (the MMseqs2-style ungapped diagonal score).
+func UngappedExtend(a, b []alphabet.Code, seedA, seedB, k int, sc Scoring, xdrop int) Result {
+	res := Result{}
+	for i := 0; i < k; i++ {
+		res.Score += sc.Matrix.Score(a[seedA+i], b[seedB+i])
+		if a[seedA+i] == b[seedB+i] {
+			res.Matches++
+		}
+	}
+	res.AlignLen = k
+	res.BeginA, res.EndA = seedA, seedA+k
+	res.BeginB, res.EndB = seedB, seedB+k
+
+	// Right.
+	score, bestAt := res.Score, res.Score
+	adv, matches, mAtBest := 0, res.Matches, res.Matches
+	for i := 0; seedA+k+i < len(a) && seedB+k+i < len(b); i++ {
+		score += sc.Matrix.Score(a[seedA+k+i], b[seedB+k+i])
+		if a[seedA+k+i] == b[seedB+k+i] {
+			matches++
+		}
+		if score > bestAt {
+			bestAt, adv, mAtBest = score, i+1, matches
+		}
+		if score < bestAt-xdrop {
+			break
+		}
+	}
+	res.Score, res.Matches = bestAt, mAtBest
+	res.EndA += adv
+	res.EndB += adv
+	res.AlignLen += adv
+
+	// Left.
+	score, bestAt = res.Score, res.Score
+	adv, matches, mAtBest = 0, res.Matches, res.Matches
+	for i := 1; seedA-i >= 0 && seedB-i >= 0; i++ {
+		score += sc.Matrix.Score(a[seedA-i], b[seedB-i])
+		if a[seedA-i] == b[seedB-i] {
+			matches++
+		}
+		if score > bestAt {
+			bestAt, adv, mAtBest = score, i, matches
+		}
+		if score < bestAt-xdrop {
+			break
+		}
+	}
+	res.Score, res.Matches = bestAt, mAtBest
+	res.BeginA -= adv
+	res.BeginB -= adv
+	res.AlignLen += adv
+	return res
+}

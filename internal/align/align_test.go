@@ -1,0 +1,317 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+func codes(t testing.TB, s string) []alphabet.Code {
+	t.Helper()
+	c, err := alphabet.EncodeSeq([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSWIdenticalSequences(t *testing.T) {
+	sc := DefaultScoring()
+	s := codes(t, "MKVLAWHPLC")
+	r := SmithWaterman(s, s, sc)
+	want := 0
+	for _, c := range s {
+		want += sc.Matrix.Score(c, c)
+	}
+	if r.Score != want {
+		t.Errorf("self alignment score = %d, want %d", r.Score, want)
+	}
+	if r.Matches != len(s) || r.AlignLen != len(s) {
+		t.Errorf("matches=%d alen=%d, want %d/%d", r.Matches, r.AlignLen, len(s), len(s))
+	}
+	if r.Identity() != 1.0 {
+		t.Errorf("identity = %f", r.Identity())
+	}
+	if r.BeginA != 0 || r.EndA != len(s) || r.BeginB != 0 || r.EndB != len(s) {
+		t.Errorf("span [%d,%d)x[%d,%d)", r.BeginA, r.EndA, r.BeginB, r.EndB)
+	}
+}
+
+func TestSWSymmetric(t *testing.T) {
+	sc := DefaultScoring()
+	a := codes(t, "MKVLAWHPLCQERNDYFI")
+	b := codes(t, "MKVANWHPLCQRNDYF")
+	r1 := SmithWaterman(a, b, sc)
+	r2 := SmithWaterman(b, a, sc)
+	if r1.Score != r2.Score {
+		t.Errorf("SW not symmetric: %d vs %d", r1.Score, r2.Score)
+	}
+	if r1.Matches != r2.Matches || r1.AlignLen != r2.AlignLen {
+		t.Errorf("stats not symmetric: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSWLocality(t *testing.T) {
+	sc := DefaultScoring()
+	// A strong common core with unrelated flanks: local alignment should
+	// recover (roughly) the core, not the flanks.
+	core := "WWHHCCWWHHCC"
+	a := codes(t, "GGGGGG"+core+"IIIIII")
+	b := codes(t, "PPPP"+core+"LLLL")
+	r := SmithWaterman(a, b, sc)
+	coreScore := 0
+	for _, c := range codes(t, core) {
+		coreScore += sc.Matrix.Score(c, c)
+	}
+	if r.Score < coreScore {
+		t.Errorf("score %d < core score %d", r.Score, coreScore)
+	}
+	if r.BeginA < 4 || r.BeginB < 2 {
+		t.Errorf("alignment should start near the core: %+v", r)
+	}
+}
+
+func TestSWEmptyAndNoPositive(t *testing.T) {
+	sc := DefaultScoring()
+	if r := SmithWaterman(nil, codes(t, "MKV"), sc); r.Score != 0 {
+		t.Errorf("empty input score %d", r.Score)
+	}
+	// W vs P scores -4: no positive local alignment exists.
+	if r := SmithWaterman(codes(t, "W"), codes(t, "P"), sc); r.Score != 0 {
+		t.Errorf("all-negative alignment score %d", r.Score)
+	}
+}
+
+func TestSWGapAlignment(t *testing.T) {
+	sc := DefaultScoring()
+	// b equals a with a 3-residue deletion: SW must bridge it with one gap.
+	a := codes(t, "MKVLAWHPLCQERNDYFIWW")
+	b := append(append([]alphabet.Code{}, a[:8]...), a[11:]...)
+	r := SmithWaterman(a, b, sc)
+	selfScore := 0
+	for _, c := range a {
+		selfScore += sc.Matrix.Score(c, c)
+	}
+	wantMin := selfScore - 3*sc.Matrix.MaxScore() - (sc.GapOpen + 3*sc.GapExtend)
+	if r.Score < wantMin {
+		t.Errorf("gapped score %d below plausible %d", r.Score, wantMin)
+	}
+	if r.AlignLen != len(a) {
+		t.Errorf("alignment length %d, want %d (17 matches + 3-gap)", r.AlignLen, len(a))
+	}
+	if r.Matches != len(b) {
+		t.Errorf("matches %d, want %d", r.Matches, len(b))
+	}
+}
+
+// Brute-force SW on tiny sequences: enumerate all local alignments with at
+// most one gap run to sanity-check scores from the DP.
+func TestSWAgainstSimpleCases(t *testing.T) {
+	sc := DefaultScoring()
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"AAA", "AAA", 12},
+		{"W", "W", 11},
+		{"WW", "WW", 22},
+		{"AW", "WA", 11}, // best single letter W
+		{"ACDEFG", "ACDEFG", 4 + 9 + 6 + 5 + 6 + 6},
+	}
+	for _, tc := range cases {
+		r := SmithWaterman(codes(t, tc.a), codes(t, tc.b), sc)
+		if r.Score != tc.want {
+			t.Errorf("SW(%s,%s) = %d, want %d", tc.a, tc.b, r.Score, tc.want)
+		}
+	}
+}
+
+func TestXDropSeedOutOfRange(t *testing.T) {
+	p := DefaultXDrop()
+	a, b := codes(t, "MKVLAW"), codes(t, "MKVLAW")
+	if _, err := XDrop(a, b, 5, 0, 6, p); err == nil {
+		t.Error("seed past end should error")
+	}
+	if _, err := XDrop(a, b, -1, 0, 3, p); err == nil {
+		t.Error("negative seed should error")
+	}
+}
+
+func TestXDropIdentical(t *testing.T) {
+	p := DefaultXDrop()
+	s := codes(t, "MKVLAWHPLCQERNDYFI")
+	r, err := XDrop(s, s, 6, 6, 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range s {
+		want += p.Scoring.Matrix.Score(c, c)
+	}
+	if r.Score != want {
+		t.Errorf("x-drop self score = %d, want %d", r.Score, want)
+	}
+	if r.BeginA != 0 || r.EndA != len(s) {
+		t.Errorf("x-drop should extend to both ends: %+v", r)
+	}
+	if r.Identity() != 1.0 {
+		t.Errorf("identity %f", r.Identity())
+	}
+}
+
+// X-drop from any seed inside an exact repeat region can never exceed the
+// SW optimum; with identical sequences it should match it.
+func TestXDropNeverExceedsSW(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	letters := "ARNDCQEGHILKMFPSTWYV"
+	p := DefaultXDrop()
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + rng.Intn(60)
+		raw := make([]byte, n)
+		for i := range raw {
+			raw[i] = letters[rng.Intn(20)]
+		}
+		a := codes(t, string(raw))
+		// b: mutated copy.
+		rawB := append([]byte(nil), raw...)
+		for m := 0; m < 6; m++ {
+			rawB[rng.Intn(len(rawB))] = letters[rng.Intn(20)]
+		}
+		b := codes(t, string(rawB))
+		sw := SmithWaterman(a, b, p.Scoring)
+		seed := rng.Intn(n - 6)
+		xd, err := XDrop(a, b, seed, seed, 6, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xd.Score > sw.Score {
+			t.Errorf("trial %d: x-drop %d exceeds SW %d", trial, xd.Score, sw.Score)
+		}
+	}
+}
+
+func TestXDropBridgesGap(t *testing.T) {
+	p := DefaultXDrop()
+	// a and b share a prefix and suffix with a 2-residue insertion in b.
+	a := codes(t, "MKVLAWHPLCQERNDYFIWWHHCC")
+	b := append(append([]alphabet.Code{}, a[:12]...), codes(t, "GG")...)
+	b = append(b, a[12:]...)
+	r, err := XDrop(a, b, 2, 2, 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of a should align (24 matches), with a 2-column gap.
+	if r.Matches != len(a) {
+		t.Errorf("matches = %d, want %d", r.Matches, len(a))
+	}
+	if r.AlignLen != len(a)+2 {
+		t.Errorf("alignment length = %d, want %d", r.AlignLen, len(a)+2)
+	}
+}
+
+func TestXDropStopsAtJunk(t *testing.T) {
+	p := DefaultXDrop()
+	// Identical 12-residue block, then completely hostile tails; the
+	// extension must terminate without dragging the score down more than X.
+	blockA := "WWHHCCWWHHCC"
+	a := codes(t, blockA+"PPPPPPPPPPPPPPPPPPPPPPPP")
+	b := codes(t, blockA+"WWWWWWWWWWWWWWWWWWWWWWWW")
+	r, err := XDrop(a, b, 0, 0, 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockScore := 0
+	for _, c := range codes(t, blockA) {
+		blockScore += p.Scoring.Matrix.Score(c, c)
+	}
+	if r.Score != blockScore {
+		t.Errorf("score = %d, want %d (block only)", r.Score, blockScore)
+	}
+	if r.EndA != len(blockA) {
+		t.Errorf("extension ran into junk: EndA = %d", r.EndA)
+	}
+}
+
+func TestUngappedExtend(t *testing.T) {
+	sc := DefaultScoring()
+	a := codes(t, "MKVLAWHPLC")
+	r := UngappedExtend(a, a, 3, 3, 3, sc, 10)
+	want := 0
+	for _, c := range a {
+		want += sc.Matrix.Score(c, c)
+	}
+	if r.Score != want {
+		t.Errorf("ungapped self extension = %d, want %d", r.Score, want)
+	}
+	if r.BeginA != 0 || r.EndA != len(a) {
+		t.Errorf("span [%d,%d)", r.BeginA, r.EndA)
+	}
+	if r.Matches != len(a) {
+		t.Errorf("matches = %d", r.Matches)
+	}
+}
+
+func TestUngappedExtendStops(t *testing.T) {
+	sc := DefaultScoring()
+	a := codes(t, "WWWW"+"PPPPPPPP")
+	b := codes(t, "WWWW"+"GGGGGGGG")
+	r := UngappedExtend(a, b, 0, 0, 4, sc, 8)
+	if r.Score != 44 {
+		t.Errorf("score = %d, want 44 (4xW)", r.Score)
+	}
+	if r.EndA != 4 {
+		t.Errorf("EndA = %d, want 4", r.EndA)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	r := Result{Score: 50, Matches: 8, AlignLen: 10, BeginA: 0, EndA: 10, BeginB: 5, EndB: 15}
+	if r.Identity() != 0.8 {
+		t.Errorf("identity = %f", r.Identity())
+	}
+	if got := r.CoverageShorter(20, 15); got != 10.0/15.0 {
+		t.Errorf("coverage = %f", got)
+	}
+	if got := r.NormalizedScore(20, 15); got != 50.0/15.0 {
+		t.Errorf("NS = %f", got)
+	}
+	var zero Result
+	if zero.Identity() != 0 || zero.CoverageShorter(0, 0) != 0 || zero.NormalizedScore(0, 0) != 0 {
+		t.Error("zero-value result should produce zero stats")
+	}
+}
+
+func randomSeq(rng *rand.Rand, n int) []alphabet.Code {
+	s := make([]alphabet.Code, n)
+	for i := range s {
+		s[i] = alphabet.Code(rng.Intn(20))
+	}
+	return s
+}
+
+func BenchmarkSmithWaterman300(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randomSeq(rng, 300), randomSeq(rng, 300)
+	sc := DefaultScoring()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SmithWaterman(x, y, sc)
+	}
+}
+
+func BenchmarkXDrop300(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomSeq(rng, 300)
+	y := append([]alphabet.Code(nil), x...)
+	for i := 0; i < 30; i++ {
+		y[rng.Intn(len(y))] = alphabet.Code(rng.Intn(20))
+	}
+	p := DefaultXDrop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := XDrop(x, y, 150, 150, 6, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

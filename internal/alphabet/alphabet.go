@@ -1,0 +1,95 @@
+// Package alphabet defines the 24-letter protein alphabet used throughout
+// PASTIS and the base-24 encoding of amino acids.
+//
+// The ordering follows the paper (Section V-B): under the
+// ARNDCQEGHILKMFPSTWYVBZX* alphabet each base is indexed from 0 to 23 and a
+// k-mer is assigned the number sum(b_i * 24^i) with positions counted from
+// the right.
+package alphabet
+
+import "fmt"
+
+// Size is the number of symbols in the protein alphabet.
+const Size = 24
+
+// Letters lists the amino acid codes in index order. B, Z and X are the
+// standard ambiguity codes and '*' is the stop/translation marker.
+const Letters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// Code is the compact index of an amino acid, in [0, Size).
+type Code = uint8
+
+// Invalid is returned by Encode for bytes outside the alphabet.
+const Invalid Code = 0xFF
+
+// encodeTable maps ASCII bytes to codes; 0xFF marks invalid characters.
+var encodeTable = func() [256]Code {
+	var t [256]Code
+	for i := range t {
+		t[i] = Invalid
+	}
+	for i := 0; i < len(Letters); i++ {
+		upper := Letters[i]
+		t[upper] = Code(i)
+		if upper >= 'A' && upper <= 'Z' {
+			t[upper+'a'-'A'] = Code(i)
+		}
+	}
+	// Treat the rare codes U (selenocysteine) and O (pyrrolysine) as X, as
+	// most alignment tools do when the scoring matrix has no row for them.
+	t['U'], t['u'] = t['X'], t['X']
+	t['O'], t['o'] = t['X'], t['X']
+	// '-' sometimes appears in curated FASTA; map it to the stop symbol so
+	// sequences remain encodable without inventing an extra letter.
+	t['-'] = t['*']
+	return t
+}()
+
+// Encode maps an ASCII amino acid letter (either case) to its code.
+// It returns Invalid for characters outside the alphabet.
+func Encode(b byte) Code { return encodeTable[b] }
+
+// Decode maps a code back to its canonical upper-case letter.
+// It panics if c is out of range; codes are produced by Encode and are
+// trusted internal values.
+func Decode(c Code) byte { return Letters[c] }
+
+// Valid reports whether b encodes to a known amino acid.
+func Valid(b byte) bool { return encodeTable[b] != Invalid }
+
+// EncodeSeq encodes a protein sequence into codes. It returns an error
+// naming the first invalid byte, if any.
+func EncodeSeq(seq []byte) ([]Code, error) {
+	out := make([]Code, len(seq))
+	for i, b := range seq {
+		c := encodeTable[b]
+		if c == Invalid {
+			return nil, fmt.Errorf("alphabet: invalid amino acid %q at position %d", b, i)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// DecodeSeq renders a code sequence back into letters.
+func DecodeSeq(codes []Code) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = Decode(c)
+	}
+	return out
+}
+
+// Clean returns a copy of seq with every invalid byte replaced by the
+// ambiguity code 'X'. It is used when ingesting permissive FASTA data.
+func Clean(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, b := range seq {
+		if Valid(b) {
+			out[i] = b
+		} else {
+			out[i] = 'X'
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package alphabet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i := 0; i < len(Letters); i++ {
+		c := Encode(Letters[i])
+		if c == Invalid {
+			t.Fatalf("letter %q encoded as Invalid", Letters[i])
+		}
+		if got := Decode(c); got != Letters[i] {
+			t.Errorf("Decode(Encode(%q)) = %q", Letters[i], got)
+		}
+	}
+}
+
+func TestEncodeLowercase(t *testing.T) {
+	if Encode('a') != Encode('A') {
+		t.Errorf("lowercase 'a' should encode like 'A'")
+	}
+	if Encode('v') != Encode('V') {
+		t.Errorf("lowercase 'v' should encode like 'V'")
+	}
+}
+
+func TestEncodeInvalid(t *testing.T) {
+	for _, b := range []byte{'1', ' ', '\n', '@', 0} {
+		if Encode(b) != Invalid {
+			t.Errorf("Encode(%q) should be Invalid", b)
+		}
+	}
+}
+
+func TestRareCodesMapToX(t *testing.T) {
+	x := Encode('X')
+	for _, b := range []byte{'U', 'u', 'O', 'o'} {
+		if Encode(b) != x {
+			t.Errorf("Encode(%q) = %d, want X code %d", b, Encode(b), x)
+		}
+	}
+}
+
+func TestDistinctCodes(t *testing.T) {
+	seen := map[Code]byte{}
+	for i := 0; i < len(Letters); i++ {
+		c := Encode(Letters[i])
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("letters %q and %q share code %d", prev, Letters[i], c)
+		}
+		seen[c] = Letters[i]
+	}
+	if len(seen) != Size {
+		t.Fatalf("expected %d distinct codes, got %d", Size, len(seen))
+	}
+}
+
+func TestEncodeSeq(t *testing.T) {
+	codes, err := EncodeSeq([]byte("ARNDC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Code{0, 1, 2, 3, 4}
+	for i, c := range codes {
+		if c != want[i] {
+			t.Errorf("EncodeSeq[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	if _, err := EncodeSeq([]byte("AR1DC")); err == nil {
+		t.Error("EncodeSeq should reject '1'")
+	}
+}
+
+func TestDecodeSeq(t *testing.T) {
+	in := []byte("MKVLAW")
+	codes, err := EncodeSeq(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeSeq(codes); !bytes.Equal(got, in) {
+		t.Errorf("DecodeSeq = %q, want %q", got, in)
+	}
+}
+
+func TestClean(t *testing.T) {
+	got := Clean([]byte("AR?DC"))
+	if string(got) != "ARXDC" {
+		t.Errorf("Clean = %q, want ARXDC", got)
+	}
+}
+
+// Property: Clean output is always fully encodable.
+func TestCleanAlwaysEncodable(t *testing.T) {
+	f := func(seq []byte) bool {
+		_, err := EncodeSeq(Clean(seq))
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding uppercase letters of the alphabet then decoding is the
+// identity on canonical sequences.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(idxs []uint8) bool {
+		seq := make([]byte, len(idxs))
+		for i, v := range idxs {
+			seq[i] = Letters[int(v)%Size]
+		}
+		codes, err := EncodeSeq(seq)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(DecodeSeq(codes), seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/align"
+	"repro/internal/dmat"
+	"repro/internal/fasta"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/scoring"
+	"repro/internal/seqstore"
+	"repro/internal/spmat"
+	"repro/internal/subkmer"
+)
+
+// Section names, matching the component labels of the paper's dissection
+// plots (Fig. 15).
+const (
+	SectionFasta = "fasta"
+	SectionFormA = "form A"
+	SectionTrA   = "tr. A"
+	SectionFormS = "form S"
+	SectionAS    = "AS"
+	SectionB     = "(AS)AT"
+	SectionSym   = "sym."
+	SectionWait  = "wait"
+	SectionAlign = "align"
+)
+
+// Virtual-cost constants (generic ops charged to the rank clock). The
+// absolute values approximate a threaded Cori node; only ratios shape the
+// reproduced figures.
+const (
+	opsPerKmer        = 20  // rolling extraction + dedup per k-mer occurrence
+	opsPerSubNeighbor = 120 // heap search amortized per generated neighbor
+	opsPerDPCell      = 4   // vectorized alignment kernel per DP cell
+)
+
+// Run executes the PASTIS pipeline on this rank's share of the input.
+// owned must be the rank's consecutive run of records from the byte-balanced
+// FASTA partition (fasta.ParseChunk provides exactly that). Collective: all
+// ranks of comm must call Run with the same Config.
+func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	grid, err := dmat.NewGrid(comm)
+	if err != nil {
+		return nil, err
+	}
+	clock := comm.Clock()
+	var stats Stats
+
+	// --- fasta read/process + launch the overlapped sequence exchange ---
+	var store *seqstore.Store
+	clock.StartSection(SectionFasta)
+	clock.IOBytes(fasta.TotalSeqBytes(owned))
+	store, err = seqstore.Exchange(grid, owned)
+	clock.EndSection()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BlockingExchange {
+		clock.Section(SectionWait, func() { err = store.Wait() })
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := store.Total
+
+	// --- form A: |seqs| x |k-mer space|, values = k-mer start positions ---
+	kmerSpace := spmat.Index(kmer.SpaceSize(cfg.K))
+	var a *dmat.Mat[int32]
+	var distinct map[kmer.ID]struct{}
+	clock.StartSection(SectionFormA)
+	a, distinct, err = formA(grid, store, cfg, kmerSpace, &stats)
+	clock.EndSection()
+	if err != nil {
+		return nil, err
+	}
+	stats.NNZA = a.NNZ()
+
+	// --- k-mer frequency pre-filter (paper future work) ---
+	if cfg.MaxKmerFrequency > 0 {
+		clock.StartSection(SectionFormA)
+		counts := a.ColumnCounts()
+		maxFreq := int64(cfg.MaxKmerFrequency)
+		a = a.Prune(func(r, c spmat.Index, v int32) bool {
+			return counts[c] <= maxFreq
+		})
+		stats.NNZAFiltered = a.NNZ()
+		clock.EndSection()
+	} else {
+		stats.NNZAFiltered = stats.NNZA
+	}
+
+	// --- transpose A ---
+	var at *dmat.Mat[int32]
+	clock.Section(SectionTrA, func() { at = a.Transpose() })
+
+	gemmOpts := dmat.DefaultSpGEMMOpts()
+	gemmOpts.UseHeapKernel = cfg.UseHeapKernel
+
+	// --- overlap detection: B = A·Aᵀ or (A·S)·Aᵀ ---
+	var b *dmat.Mat[Overlap]
+	if cfg.SubstituteKmers == 0 {
+		clock.StartSection(SectionB)
+		b, err = dmat.SpGEMM(a, at, ExactSemiring, OverlapCodec, gemmOpts)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		stats.NNZB = b.NNZ()
+	} else {
+		var s *dmat.Mat[int32]
+		clock.StartSection(SectionFormS)
+		s, err = formS(grid, distinct, cfg, kmerSpace, &stats)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		stats.NNZS = s.NNZ()
+
+		var as *dmat.Mat[PosDist]
+		clock.StartSection(SectionAS)
+		as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		stats.NNZAS = as.NNZ()
+
+		clock.StartSection(SectionB)
+		b, err = dmat.SpGEMM(as, at, SubstituteSemiring, OverlapCodec, gemmOpts)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+
+		// --- symmetrization: B = B ⊕ Bᵀ with seed positions swapped ---
+		clock.StartSection(SectionSym)
+		bt := b.Map(transposeOverlap).Transpose()
+		b, err = dmat.EWiseAdd(b, bt, MergeOverlap)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		stats.NNZB = b.NNZ()
+	}
+
+	// --- complete the sequence exchange (the "wait" component) ---
+	if !cfg.BlockingExchange {
+		clock.Section(SectionWait, func() { err = store.Wait() })
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- common k-mer threshold ---
+	pruned := b
+	if cfg.CommonKmerThreshold > 0 {
+		t := int32(cfg.CommonKmerThreshold)
+		pruned = b.Prune(func(r, c spmat.Index, v Overlap) bool { return v.Count > t })
+	}
+	stats.NNZBPruned = pruned.NNZ()
+
+	// --- alignment + similarity filter ---
+	res := &Result{}
+	if cfg.Align != AlignNone {
+		clock.StartSection(SectionAlign)
+		res.Edges, err = alignBlock(grid, pruned, store, cfg, &stats)
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- aggregate counters so every rank reports identical stats ---
+	stats.NumSeqs = int64(n)
+	stats.KmersTotal = comm.AllreduceInt64("sum", stats.KmersTotal)
+	stats.PairsAligned = comm.AllreduceInt64("sum", stats.PairsAligned)
+	stats.EdgesKept = comm.AllreduceInt64("sum", int64(len(res.Edges)))
+	res.Stats = stats
+	return res, nil
+}
+
+func validate(cfg Config) error {
+	if cfg.K <= 0 || cfg.K > kmer.MaxK {
+		return fmt.Errorf("core: k=%d out of range", cfg.K)
+	}
+	if cfg.SubstituteKmers < 0 {
+		return fmt.Errorf("core: negative substitute k-mer count")
+	}
+	if cfg.MaxKmerFrequency < 0 {
+		return fmt.Errorf("core: negative k-mer frequency limit")
+	}
+	if cfg.MinIdentity < 0 || cfg.MinIdentity > 1 || cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
+		return fmt.Errorf("core: identity/coverage thresholds must be fractions")
+	}
+	return nil
+}
+
+// formA extracts k-mers from the owned sequences and assembles the
+// distributed |seqs|×|k-mer space| position matrix (paper Section IV-A).
+func formA(g *dmat.Grid, store *seqstore.Store, cfg Config, kmerSpace spmat.Index,
+	stats *Stats) (*dmat.Mat[int32], map[kmer.ID]struct{}, error) {
+
+	clock := g.Comm.Clock()
+	distinct := make(map[kmer.ID]struct{})
+	var triples []spmat.Triple[int32]
+	firstPos := make(map[kmer.ID]int32)
+	for _, seq := range store.Owned {
+		kms := kmer.ExtractCodes(seq.Codes, cfg.K, true)
+		stats.KmersTotal += int64(len(kms))
+		clear(firstPos)
+		for _, km := range kms {
+			if _, dup := firstPos[km.ID]; !dup {
+				firstPos[km.ID] = int32(km.Pos)
+			}
+			distinct[km.ID] = struct{}{}
+		}
+		for id, pos := range firstPos {
+			triples = append(triples, spmat.Triple[int32]{
+				Row: seq.Global, Col: spmat.Index(id), Val: pos,
+			})
+		}
+	}
+	clock.Ops(float64(stats.KmersTotal) * opsPerKmer)
+	mat, err := dmat.NewFromTriples(g, store.Total, kmerSpace, triples, dmat.Int32Codec, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mat, distinct, nil
+}
+
+// formS generates the substitute k-mer matrix S: for every distinct k-mer in
+// the local data, its m nearest substitutes (plus itself at distance 0), so
+// S has at most m+1 nonzeros per row (paper Section IV-C).
+func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
+	kmerSpace spmat.Index, stats *Stats) (*dmat.Mat[int32], error) {
+
+	clock := g.Comm.Clock()
+	expense := scoring.NewExpense(scoring.BLOSUM62)
+	var triples []spmat.Triple[int32]
+	for id := range distinct {
+		nbrs, err := subkmer.FindCached(id, cfg.K, expense, cfg.SubstituteKmers)
+		if err != nil {
+			return nil, err
+		}
+		triples = append(triples, spmat.Triple[int32]{
+			Row: spmat.Index(id), Col: spmat.Index(id), Val: 0,
+		})
+		for _, nb := range nbrs {
+			triples = append(triples, spmat.Triple[int32]{
+				Row: spmat.Index(id), Col: spmat.Index(nb.ID), Val: int32(nb.Dist),
+			})
+		}
+	}
+	clock.Ops(float64(len(triples)) * opsPerSubNeighbor)
+	// The same k-mer row may be generated by several ranks; distances agree,
+	// so merging with min is a pure dedup.
+	return dmat.NewFromTriples(g, kmerSpace, kmerSpace, triples, dmat.Int32Codec,
+		func(x, y int32) int32 {
+			if y < x {
+				return y
+			}
+			return x
+		})
+}
+
+// alignBlock aligns the candidate pairs assigned to this rank by the
+// computation-to-data scheme (paper Fig. 11): each block computes its own
+// local upper triangle, block diagonals are taken by processes on or above
+// the grid diagonal, and the union covers every global pair exactly once.
+func alignBlock(g *dmat.Grid, b *dmat.Mat[Overlap], store *seqstore.Store,
+	cfg Config, stats *Stats) ([]Edge, error) {
+
+	clock := g.Comm.Clock()
+	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
+	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
+	rowOff, colOff := b.RowOffset(), b.ColOffset()
+	onOrAboveDiag := g.MyRow <= g.MyCol
+
+	var edges []Edge
+	var cells int64
+	for _, t := range b.Local.ToTriples() {
+		lr, lc := t.Row, t.Col
+		r, c := rowOff+lr, colOff+lc
+		if r == c {
+			continue // self pair
+		}
+		if cfg.NaiveTriangle {
+			// Strawman assignment: the global upper triangle is handled
+			// only by processes on or above the grid diagonal; the rest
+			// of the grid idles (paper Section V-D).
+			if !onOrAboveDiag || r > c {
+				continue
+			}
+		} else if lr > lc || (lr == lc && !onOrAboveDiag) {
+			continue // the mirrored block owns this pair
+		}
+		seqR, err := store.RowSeq(r)
+		if err != nil {
+			return nil, err
+		}
+		seqC, err := store.ColSeq(c)
+		if err != nil {
+			return nil, err
+		}
+		// Align in canonical orientation (lower global index first): mirror
+		// blocks see the pair transposed, and alignment tie-breaking is not
+		// orientation-symmetric, so this keeps the PSG bit-identical across
+		// process counts (the paper's reproducibility property).
+		aCodes, bCodes := seqR.Codes, seqC.Codes
+		swapped := r > c
+		if swapped {
+			aCodes, bCodes = bCodes, aCodes
+		}
+		var best align.Result
+		switch cfg.Align {
+		case AlignSW:
+			best = align.SmithWaterman(aCodes, bCodes, sc)
+			cells += best.Cells
+		case AlignXDrop:
+			ov := t.Val
+			for si := int32(0); si < ov.NumSeeds; si++ {
+				seed := ov.Seeds[si]
+				seedA, seedB := int(seed.PosR), int(seed.PosC)
+				if swapped {
+					seedA, seedB = seedB, seedA
+				}
+				res, err := align.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
+				if err != nil {
+					continue // seed fell off due to an inconsistent position
+				}
+				cells += res.Cells
+				if res.Score > best.Score {
+					best = res
+				}
+			}
+		}
+		stats.PairsAligned++
+
+		lenR, lenC := len(aCodes), len(bCodes)
+		ident := best.Identity()
+		cov := best.CoverageShorter(lenR, lenC)
+		ns := best.NormalizedScore(lenR, lenC)
+		var weight float64
+		switch cfg.Weight {
+		case WeightANI:
+			if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
+				continue
+			}
+			weight = ident
+		case WeightNS:
+			if best.Score <= 0 {
+				continue
+			}
+			weight = ns
+		}
+		lo, hi := r, c
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		edges = append(edges, Edge{
+			R: lo, C: hi, Weight: weight,
+			Ident: ident, Cov: cov, NS: ns, Score: best.Score,
+		})
+	}
+	clock.Ops(float64(cells) * opsPerDPCell)
+	return edges, nil
+}
+
+// GatherEdges collects every rank's edges on rank 0 (nil elsewhere).
+// Collective; used for output writing and the relevance evaluation.
+func GatherEdges(comm *mpi.Comm, edges []Edge) []Edge {
+	var buf []byte
+	for _, e := range edges {
+		buf = appendU64b(buf, uint64(e.R))
+		buf = appendU64b(buf, uint64(e.C))
+		buf = appendF64(buf, e.Weight)
+		buf = appendF64(buf, e.Ident)
+		buf = appendF64(buf, e.Cov)
+		buf = appendF64(buf, e.NS)
+		buf = appendU64b(buf, uint64(int64(e.Score)))
+	}
+	parts := comm.Gatherv(0, buf)
+	if parts == nil {
+		return nil
+	}
+	var out []Edge
+	for _, part := range parts {
+		for len(part) > 0 {
+			e := Edge{
+				R:      spmat.Index(getU64b(part)),
+				C:      spmat.Index(getU64b(part[8:])),
+				Weight: getF64(part[16:]),
+				Ident:  getF64(part[24:]),
+				Cov:    getF64(part[32:]),
+				NS:     getF64(part[40:]),
+				Score:  int(int64(getU64b(part[48:]))),
+			}
+			part = part[56:]
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func appendU64b(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU64b(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func appendF64(dst []byte, v float64) []byte { return appendU64b(dst, math.Float64bits(v)) }
+
+func getF64(b []byte) float64 { return math.Float64frombits(getU64b(b)) }

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/synth"
+)
+
+// runPipeline executes the pipeline on p ranks over the records and returns
+// the gathered edges (sorted) plus stats and the cluster for timing probes.
+func runPipeline(t testing.TB, recs []fasta.Record, p int, cfg Config) ([]Edge, Stats, *mpi.Cluster) {
+	t.Helper()
+	var edges []Edge
+	var stats Stats
+	cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		n := len(recs)
+		lo, hi := n*c.Rank()/p, n*(c.Rank()+1)/p
+		res, err := Run(c, recs[lo:hi], cfg)
+		if err != nil {
+			return err
+		}
+		all := GatherEdges(c, res.Edges)
+		if c.Rank() == 0 {
+			edges = all
+			stats = res.Stats
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].R != edges[j].R {
+			return edges[i].R < edges[j].R
+		}
+		return edges[i].C < edges[j].C
+	})
+	return edges, stats, cl
+}
+
+func familyDataset(t testing.TB, nFam int, seed int64) *synth.Labeled {
+	t.Helper()
+	data, err := synth.Generate(synth.Config{
+		Seed: seed, NumFamilies: nFam, MembersMean: 5, Singletons: nFam * 2,
+		MinLen: 80, MaxLen: 200, Divergence: 0.2, IndelRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPipelineFindsFamilies(t *testing.T) {
+	data := familyDataset(t, 6, 11)
+	cfg := DefaultConfig()
+	edges, stats, _ := runPipeline(t, data.Records, 4, cfg)
+
+	if stats.NumSeqs != int64(len(data.Records)) {
+		t.Errorf("NumSeqs = %d, want %d", stats.NumSeqs, len(data.Records))
+	}
+	if stats.NNZA == 0 || stats.NNZB == 0 {
+		t.Errorf("empty matrices: %+v", stats)
+	}
+	if len(edges) == 0 {
+		t.Fatal("no edges found")
+	}
+	// Precision proxy: most retained edges must be intra-family.
+	intra, inter := 0, 0
+	for _, e := range edges {
+		fr, fc := data.Families[e.R], data.Families[e.C]
+		if fr >= 0 && fr == fc {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 9*inter {
+		t.Errorf("edge quality too low: %d intra vs %d inter", intra, inter)
+	}
+	// Recall proxy: a decent share of same-family pairs must be recovered.
+	famPairs := 0
+	byFam := map[int]int{}
+	for _, f := range data.Families {
+		if f >= 0 {
+			byFam[f]++
+		}
+	}
+	for _, n := range byFam {
+		famPairs += n * (n - 1) / 2
+	}
+	if intra*3 < famPairs {
+		t.Errorf("recall too low: %d of %d family pairs", intra, famPairs)
+	}
+	// Edge invariants.
+	for _, e := range edges {
+		if e.R >= e.C {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+		if e.Ident < cfg.MinIdentity || e.Cov < cfg.MinCoverage {
+			t.Fatalf("edge violates ANI filter: %+v", e)
+		}
+	}
+}
+
+// The similarity graph must be identical for every process count — the
+// paper's reproducibility guarantee (Section V).
+func TestProcessCountOblivious(t *testing.T) {
+	data := familyDataset(t, 5, 7)
+	for _, mode := range []AlignMode{AlignXDrop, AlignSW} {
+		for _, subs := range []int{0, 5} {
+			cfg := DefaultConfig()
+			cfg.Align = mode
+			cfg.SubstituteKmers = subs
+			var ref []Edge
+			for _, p := range []int{1, 4, 9} {
+				edges, _, _ := runPipeline(t, data.Records, p, cfg)
+				if ref == nil {
+					ref = edges
+					continue
+				}
+				if len(edges) != len(ref) {
+					t.Fatalf("mode=%v subs=%d p=%d: %d edges vs reference %d",
+						mode, subs, p, len(edges), len(ref))
+				}
+				for i := range ref {
+					if edges[i] != ref[i] {
+						t.Fatalf("mode=%v subs=%d p=%d: edge %d differs: %+v vs %+v",
+							mode, subs, p, i, edges[i], ref[i])
+					}
+				}
+			}
+			if len(ref) == 0 {
+				t.Fatalf("mode=%v subs=%d: no edges to compare", mode, subs)
+			}
+		}
+	}
+}
+
+// Substitute k-mers must strictly widen the candidate space (more pairs
+// aligned) and not lose exact-match candidates: the paper's recall argument.
+func TestSubstituteKmersIncreaseCandidates(t *testing.T) {
+	data := familyDataset(t, 6, 13)
+	base := DefaultConfig()
+	exact, statsExact, _ := runPipeline(t, data.Records, 4, base)
+
+	subs := base
+	subs.SubstituteKmers = 10
+	wide, statsSubs, _ := runPipeline(t, data.Records, 4, subs)
+
+	if statsSubs.PairsAligned <= statsExact.PairsAligned {
+		t.Errorf("substitute k-mers should align more pairs: %d vs %d",
+			statsSubs.PairsAligned, statsExact.PairsAligned)
+	}
+	// Edge set should be a superset in practice; verify no exact edge lost.
+	have := map[[2]int64]bool{}
+	for _, e := range wide {
+		have[[2]int64{int64(e.R), int64(e.C)}] = true
+	}
+	missing := 0
+	for _, e := range exact {
+		if !have[[2]int64{int64(e.R), int64(e.C)}] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d exact edges lost with substitutes (%d exact, %d wide)",
+			missing, len(exact), len(wide))
+	}
+}
+
+// The common-k-mer threshold must reduce alignments (drastically, per the
+// paper: often >90%) while keeping the result usable.
+func TestCommonKmerThresholdCutsAlignments(t *testing.T) {
+	data := familyDataset(t, 6, 17)
+	cfg := DefaultConfig()
+	_, statsAll, _ := runPipeline(t, data.Records, 4, cfg)
+
+	ck := cfg
+	ck.CommonKmerThreshold = 1
+	edges, statsCK, _ := runPipeline(t, data.Records, 4, ck)
+
+	if statsCK.PairsAligned >= statsAll.PairsAligned {
+		t.Errorf("CK should cut alignments: %d vs %d",
+			statsCK.PairsAligned, statsAll.PairsAligned)
+	}
+	if len(edges) == 0 {
+		t.Error("CK variant found no edges at all")
+	}
+}
+
+func TestNSWeightMode(t *testing.T) {
+	data := familyDataset(t, 4, 19)
+	cfg := DefaultConfig()
+	cfg.Weight = WeightNS
+	edges, _, _ := runPipeline(t, data.Records, 4, cfg)
+	if len(edges) == 0 {
+		t.Fatal("no NS edges")
+	}
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			t.Fatalf("NS weight must be positive: %+v", e)
+		}
+		if e.Weight != e.NS {
+			t.Fatalf("NS mode should weight by NS: %+v", e)
+		}
+	}
+}
+
+// Matrix-only mode must produce no edges but still populate matrix stats,
+// and the component sections must cover the expected names.
+func TestSkipAlignmentSections(t *testing.T) {
+	data := familyDataset(t, 4, 23)
+	cfg := DefaultConfig()
+	cfg.Align = AlignNone
+	cfg.SubstituteKmers = 5
+
+	edges, stats, cl := runPipeline(t, data.Records, 4, cfg)
+	if len(edges) != 0 {
+		t.Error("AlignNone must not align")
+	}
+	if stats.NNZS == 0 || stats.NNZAS == 0 {
+		t.Errorf("substitute path stats empty: %+v", stats)
+	}
+	secs := cl.SectionMax()
+	for _, name := range []string{SectionFasta, SectionFormA, SectionTrA,
+		SectionFormS, SectionAS, SectionB, SectionSym, SectionWait} {
+		if _, ok := secs[name]; !ok {
+			t.Errorf("missing section %q (have %v)", name, secs)
+		}
+	}
+	if _, ok := secs[SectionAlign]; ok {
+		t.Error("align section should be absent in AlignNone mode")
+	}
+}
+
+// Exact path must not include substitute-only sections.
+func TestExactPathSections(t *testing.T) {
+	data := familyDataset(t, 4, 29)
+	cfg := DefaultConfig()
+	cfg.Align = AlignNone
+	_, _, cl := runPipeline(t, data.Records, 4, cfg)
+	secs := cl.SectionMax()
+	for _, name := range []string{SectionFormS, SectionAS, SectionSym} {
+		if _, ok := secs[name]; ok {
+			t.Errorf("exact path should not have section %q", name)
+		}
+	}
+}
+
+// B's diagonal counts each sequence's distinct k-mers; its structure must be
+// symmetric under exact matching. Verified through the stats invariant that
+// every aligned pair appears exactly once.
+func TestUpperTrianglePartition(t *testing.T) {
+	data := familyDataset(t, 5, 31)
+	cfg := DefaultConfig()
+	cfg.MinIdentity = 0 // keep everything
+	cfg.MinCoverage = 0
+	for _, p := range []int{1, 4, 9} {
+		edges, _, _ := runPipeline(t, data.Records, p, cfg)
+		seen := map[[2]int64]int{}
+		for _, e := range edges {
+			seen[[2]int64{int64(e.R), int64(e.C)}]++
+		}
+		for pair, n := range seen {
+			if n != 1 {
+				t.Fatalf("p=%d: pair %v aligned %d times", p, pair, n)
+			}
+		}
+	}
+}
+
+func TestBlockingExchangeAblation(t *testing.T) {
+	data := familyDataset(t, 5, 37)
+	cfg := DefaultConfig()
+	overlapped, _, clOver := runPipeline(t, data.Records, 4, cfg)
+
+	cfg.BlockingExchange = true
+	blocking, _, clBlock := runPipeline(t, data.Records, 4, cfg)
+
+	if len(overlapped) != len(blocking) {
+		t.Fatalf("overlap ablation changed results: %d vs %d edges",
+			len(overlapped), len(blocking))
+	}
+	for i := range overlapped {
+		if overlapped[i] != blocking[i] {
+			t.Fatalf("edge %d differs between overlap modes", i)
+		}
+	}
+	// Overlapped mode must not be slower in virtual time.
+	if clOver.MaxTime() > clBlock.MaxTime()*1.001 {
+		t.Errorf("overlapped run (%g) slower than blocking (%g)",
+			clOver.MaxTime(), clBlock.MaxTime())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	data := familyDataset(t, 2, 41)
+	bad := []Config{
+		{K: 0},
+		{K: 99},
+		func() Config { c := DefaultConfig(); c.SubstituteKmers = -1; return c }(),
+		func() Config { c := DefaultConfig(); c.MinIdentity = 40; return c }(),
+	}
+	for i, cfg := range bad {
+		cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+		err := cl.Run(func(c *mpi.Comm) error {
+			_, err := Run(c, data.Records, cfg)
+			return err
+		})
+		if err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMergeOverlap(t *testing.T) {
+	a := Overlap{Count: 1, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: 5, PosC: 9, Dist: 2}}}
+	b := Overlap{Count: 2, NumSeeds: 2, Seeds: [2]SeedPos{
+		{PosR: 1, PosC: 1, Dist: 0}, {PosR: 7, PosC: 7, Dist: 4},
+	}}
+	m := MergeOverlap(a, b)
+	if m.Count != 3 {
+		t.Errorf("count = %d", m.Count)
+	}
+	if m.NumSeeds != 2 {
+		t.Fatalf("numSeeds = %d", m.NumSeeds)
+	}
+	if m.Seeds[0].Dist != 0 || m.Seeds[1].Dist != 2 {
+		t.Errorf("seeds not distance-ordered: %+v", m.Seeds)
+	}
+	// Merging with itself dedupes seeds.
+	self := MergeOverlap(a, a)
+	if self.NumSeeds != 1 {
+		t.Errorf("self merge should dedupe seeds: %+v", self)
+	}
+	if self.Count != 2 {
+		t.Errorf("self merge count = %d", self.Count)
+	}
+}
+
+func TestTransposeOverlap(t *testing.T) {
+	v := Overlap{Count: 5, NumSeeds: 2, Seeds: [2]SeedPos{
+		{PosR: 3, PosC: 8, Dist: 1}, {PosR: 9, PosC: 2, Dist: 1},
+	}}
+	tv := transposeOverlap(v)
+	if tv.Count != 5 || tv.NumSeeds != 2 {
+		t.Fatalf("transpose lost data: %+v", tv)
+	}
+	// Positions swapped and re-sorted: (2,9,1) now precedes (8,3,1).
+	if tv.Seeds[0] != (SeedPos{PosR: 2, PosC: 9, Dist: 1}) {
+		t.Errorf("seed 0 = %+v", tv.Seeds[0])
+	}
+	if tv.Seeds[1] != (SeedPos{PosR: 8, PosC: 3, Dist: 1}) {
+		t.Errorf("seed 1 = %+v", tv.Seeds[1])
+	}
+	// Involution (count and seed set preserved).
+	back := transposeOverlap(tv)
+	if back != v {
+		t.Errorf("transpose not involutive: %+v vs %+v", back, v)
+	}
+}
+
+func TestOverlapCodecRoundTrip(t *testing.T) {
+	vals := []Overlap{
+		{},
+		{Count: 7, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: 1, PosC: 2, Dist: 3}}},
+		{Count: -1, NumSeeds: 2, Seeds: [2]SeedPos{{PosR: 100, PosC: 200, Dist: 0}, {PosR: 5, PosC: 5, Dist: 9}}},
+	}
+	for _, v := range vals {
+		buf := OverlapCodec.Append(nil, v)
+		got, n := OverlapCodec.Decode(buf)
+		if n != len(buf) || got != v {
+			t.Errorf("codec round trip: %+v -> %+v (n=%d len=%d)", v, got, n, len(buf))
+		}
+	}
+	pd := PosDist{Pos: 42, Dist: -7}
+	buf := PosDistCodec.Append(nil, pd)
+	got, n := PosDistCodec.Decode(buf)
+	if n != 8 || got != pd {
+		t.Errorf("PosDist codec: %+v -> %+v", pd, got)
+	}
+}
+
+func BenchmarkPipelineExact(b *testing.B) {
+	data := familyDataset(b, 8, 3)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPipeline(b, data.Records, 4, cfg)
+	}
+}

@@ -1,0 +1,291 @@
+// Package core implements the PASTIS pipeline (paper Sections IV-V): k-mer
+// matrix construction, substitute k-mer expansion, distributed overlap
+// detection via SpGEMM with custom semirings, overlapped sequence exchange,
+// pairwise alignment with the computation-to-data upper-triangle assignment,
+// and the similarity filter that yields the protein similarity graph.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dmat"
+	"repro/internal/spmat"
+)
+
+// AlignMode selects the pairwise aligner (paper Section IV-E).
+type AlignMode int
+
+const (
+	// AlignXDrop is seed-and-extend with gapped x-drop (PASTIS-XD).
+	AlignXDrop AlignMode = iota
+	// AlignSW is full Smith-Waterman local alignment (PASTIS-SW).
+	AlignSW
+	// AlignNone skips alignment; used by the matrix-only scaling studies
+	// (paper Figs. 14-16 exclude alignment).
+	AlignNone
+)
+
+func (m AlignMode) String() string {
+	switch m {
+	case AlignXDrop:
+		return "XD"
+	case AlignSW:
+		return "SW"
+	default:
+		return "none"
+	}
+}
+
+// WeightMode selects the similarity-graph edge weight (paper Section VI-B).
+type WeightMode int
+
+const (
+	// WeightANI weights edges by average nucleotide/amino-acid identity and
+	// applies the 30% identity / 70% coverage filters.
+	WeightANI WeightMode = iota
+	// WeightNS weights edges by normalized raw score with no cut-off.
+	WeightNS
+)
+
+func (m WeightMode) String() string {
+	if m == WeightNS {
+		return "NS"
+	}
+	return "ANI"
+}
+
+// Config parameterizes one pipeline run. The zero value is not runnable;
+// start from DefaultConfig.
+type Config struct {
+	K               int // k-mer length (paper uses 6)
+	SubstituteKmers int // m: number of substitute k-mers; 0 = exact matching
+
+	Align  AlignMode
+	Weight WeightMode
+
+	// CommonKmerThreshold t eliminates pairs sharing t or fewer k-mers
+	// before alignment (the CK variants; paper uses t=1 for exact and t=3
+	// for substitute k-mers). 0 disables the filter.
+	CommonKmerThreshold int
+
+	// MaxKmerFrequency drops k-mers occurring in more than this many
+	// sequences before overlap detection — the pre-processing analysis the
+	// paper lists as future work ("whether some of them can be eliminated
+	// without sacrificing recall too much"): over-represented k-mers (low
+	// complexity regions) contribute quadratically many candidate pairs
+	// with little evidence of homology. 0 disables the filter.
+	MaxKmerFrequency int
+
+	// Similarity filter applied in ANI mode (paper Section IV-F).
+	MinIdentity float64
+	MinCoverage float64
+
+	GapOpen, GapExtend int
+	XDropValue         int
+
+	// UseHeapKernel switches the local SpGEMM kernel (ablation).
+	UseHeapKernel bool
+	// BlockingExchange disables communication/computation overlap: the
+	// sequence exchange completes before matrix formation (ablation for the
+	// paper's "wait" optimization).
+	BlockingExchange bool
+	// NaiveTriangle disables the computation-to-data trick of Fig. 11:
+	// only processes on or above the grid diagonal align pairs, leaving
+	// √p(√p-1)/2 processes idle (the strawman the paper's scheme avoids).
+	NaiveTriangle bool
+}
+
+// DefaultConfig mirrors the paper's main configuration: k=6, BLOSUM62 with
+// gap open 11 / extend 1, x-drop 49, ANI >= 30%, coverage >= 70%.
+func DefaultConfig() Config {
+	return Config{
+		K:           6,
+		Align:       AlignXDrop,
+		Weight:      WeightANI,
+		MinIdentity: 0.30,
+		MinCoverage: 0.70,
+		GapOpen:     11,
+		GapExtend:   1,
+		XDropValue:  49,
+	}
+}
+
+// SeedPos is one shared k-mer occurrence on a sequence pair: the k-mer
+// starts at PosR in the row sequence and PosC in the column sequence; Dist
+// is the substitution distance (0 for exact matches).
+type SeedPos struct {
+	PosR, PosC int32
+	Dist       int32
+}
+
+// Overlap is the nonzero type of the similarity candidate matrix B
+// (paper Fig. 3): the count of shared k-mers plus up to two seed positions
+// ordered by (Dist, PosR, PosC).
+type Overlap struct {
+	Count    int32
+	NumSeeds int32
+	Seeds    [2]SeedPos
+}
+
+// seedLess orders seeds by substitution distance, then position.
+func seedLess(a, b SeedPos) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.PosR != b.PosR {
+		return a.PosR < b.PosR
+	}
+	return a.PosC < b.PosC
+}
+
+// MergeOverlap is the semiring addition for B: counts accumulate and the
+// two best seeds (by distance, then position) are retained.
+func MergeOverlap(x, y Overlap) Overlap {
+	out := Overlap{Count: x.Count + y.Count}
+	var all []SeedPos
+	all = append(all, x.Seeds[:x.NumSeeds]...)
+	all = append(all, y.Seeds[:y.NumSeeds]...)
+	sort.Slice(all, func(i, j int) bool { return seedLess(all[i], all[j]) })
+	for _, s := range all {
+		if out.NumSeeds > 0 && out.Seeds[out.NumSeeds-1] == s {
+			continue // duplicate seed
+		}
+		out.Seeds[out.NumSeeds] = s
+		out.NumSeeds++
+		if out.NumSeeds == 2 {
+			break
+		}
+	}
+	return out
+}
+
+// transposeOverlap swaps the row/column roles of the seed positions; applied
+// before the distributed transpose during symmetrization.
+func transposeOverlap(v Overlap) Overlap {
+	out := v
+	for i := int32(0); i < v.NumSeeds; i++ {
+		out.Seeds[i].PosR, out.Seeds[i].PosC = v.Seeds[i].PosC, v.Seeds[i].PosR
+	}
+	// Re-establish canonical seed order under the swapped positions.
+	if out.NumSeeds == 2 && seedLess(out.Seeds[1], out.Seeds[0]) {
+		out.Seeds[0], out.Seeds[1] = out.Seeds[1], out.Seeds[0]
+	}
+	return out
+}
+
+// PosDist is the nonzero type of AS: the position of the closest original
+// k-mer of the row sequence that maps to this substitute k-mer, with its
+// substitution distance (paper Section IV-C).
+type PosDist struct {
+	Pos  int32
+	Dist int32
+}
+
+// ExactSemiring builds B = A·Aᵀ for exact k-mer matching (paper Fig. 4):
+// multiplication pairs the k-mer positions on the two sequences, addition
+// merges counts and keeps the best two seeds.
+var ExactSemiring = spmat.Semiring[int32, int32, Overlap]{
+	Multiply: func(posR, posC int32) Overlap {
+		return Overlap{Count: 1, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: posR, PosC: posC}}}
+	},
+	Add: MergeOverlap,
+}
+
+// ASSemiring builds AS: multiplication attaches the substitution distance
+// to the k-mer position; addition keeps the closest k-mer when several
+// k-mers of the sequence share a substitute k-mer (paper Section IV-C).
+var ASSemiring = spmat.Semiring[int32, int32, PosDist]{
+	Multiply: func(pos, dist int32) PosDist { return PosDist{Pos: pos, Dist: dist} },
+	Add: func(x, y PosDist) PosDist {
+		if y.Dist < x.Dist || (y.Dist == x.Dist && y.Pos < x.Pos) {
+			return y
+		}
+		return x
+	},
+}
+
+// SubstituteSemiring builds B = (AS)·Aᵀ: like ExactSemiring but the row
+// position carries its substitution distance into the seed.
+var SubstituteSemiring = spmat.Semiring[PosDist, int32, Overlap]{
+	Multiply: func(pd PosDist, posC int32) Overlap {
+		return Overlap{Count: 1, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: pd.Pos, PosC: posC, Dist: pd.Dist}}}
+	},
+	Add: MergeOverlap,
+}
+
+// OverlapCodec serializes Overlap values for block transfers.
+var OverlapCodec = dmat.Codec[Overlap]{
+	Append: func(dst []byte, v Overlap) []byte {
+		dst = appendI32(dst, v.Count)
+		dst = appendI32(dst, v.NumSeeds)
+		for _, s := range v.Seeds {
+			dst = appendI32(dst, s.PosR)
+			dst = appendI32(dst, s.PosC)
+			dst = appendI32(dst, s.Dist)
+		}
+		return dst
+	},
+	Decode: func(src []byte) (Overlap, int) {
+		var v Overlap
+		v.Count = getI32(src)
+		v.NumSeeds = getI32(src[4:])
+		off := 8
+		for i := range v.Seeds {
+			v.Seeds[i] = SeedPos{
+				PosR: getI32(src[off:]), PosC: getI32(src[off+4:]), Dist: getI32(src[off+8:]),
+			}
+			off += 12
+		}
+		return v, off
+	},
+}
+
+// PosDistCodec serializes AS values.
+var PosDistCodec = dmat.Codec[PosDist]{
+	Append: func(dst []byte, v PosDist) []byte {
+		return appendI32(appendI32(dst, v.Pos), v.Dist)
+	},
+	Decode: func(src []byte) (PosDist, int) {
+		return PosDist{Pos: getI32(src), Dist: getI32(src[4:])}, 8
+	},
+}
+
+// Edge is one similarity-graph edge; R < C always (each unordered pair is
+// produced by exactly one process).
+type Edge struct {
+	R, C   spmat.Index
+	Weight float64
+	Ident  float64
+	Cov    float64
+	NS     float64
+	Score  int
+}
+
+// Stats aggregates pipeline counters across all ranks (paper Section VI
+// quotes several of these: alignment counts, nonzeros, dimensions).
+type Stats struct {
+	NumSeqs      int64
+	KmersTotal   int64 // k-mer occurrences extracted
+	NNZA         int64
+	NNZAFiltered int64 // after the k-mer frequency pre-filter
+	NNZS         int64
+	NNZAS        int64
+	NNZB         int64 // before the common-k-mer prune
+	NNZBPruned   int64 // after it
+	PairsAligned int64 // alignments performed (upper-triangle pairs)
+	EdgesKept    int64 // pairs surviving the similarity filter
+}
+
+// Result is the outcome of one pipeline run on one rank.
+type Result struct {
+	Edges []Edge // this rank's share of the similarity graph
+	Stats Stats  // global counters (identical on every rank)
+}
+
+func appendI32(dst []byte, v int32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func getI32(b []byte) int32 {
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}

@@ -1,0 +1,459 @@
+// Package dmat implements 2D block-distributed sparse matrices over the mpi
+// substrate: the CombBLAS layer of the paper. Matrices live on a √p×√p
+// process grid; SpGEMM uses the 2D Sparse SUMMA algorithm (Buluç & Gilbert
+// 2012) with semiring-generic local kernels from spmat; transpose is a
+// pairwise block exchange; construction shuffles triples to their owners
+// with a single all-to-all.
+package dmat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// Grid is the √p×√p process grid with its row and column communicators
+// (paper Section V: the 2D decomposition constrains communication to grid
+// rows and columns, which is what makes SUMMA scale).
+type Grid struct {
+	Comm    *mpi.Comm
+	Q       int // grid side; p = Q*Q
+	MyRow   int
+	MyCol   int
+	RowComm *mpi.Comm // all ranks in my grid row; rank within = MyCol
+	ColComm *mpi.Comm // all ranks in my grid column; rank within = MyRow
+}
+
+// NewGrid builds the grid; the communicator size must be a perfect square
+// (the paper's "p = q^2" requirement).
+func NewGrid(c *mpi.Comm) (*Grid, error) {
+	q := int(math.Round(math.Sqrt(float64(c.Size()))))
+	if q*q != c.Size() {
+		return nil, fmt.Errorf("dmat: communicator size %d is not a perfect square", c.Size())
+	}
+	g := &Grid{Comm: c, Q: q, MyRow: c.Rank() / q, MyCol: c.Rank() % q}
+	g.RowComm = c.Split(g.MyRow, g.MyCol)
+	g.ColComm = c.Split(g.MyCol, g.MyRow)
+	return g, nil
+}
+
+// RankOf returns the communicator rank of grid position (row, col).
+func (g *Grid) RankOf(row, col int) int { return row*g.Q + col }
+
+// BlockRange returns the half-open slice [lo,hi) of dimension n owned by
+// block index i of q. The split is ceiling-based — every block except
+// possibly the trailing ones has size ⌈n/q⌉ and block i starts at i*⌈n/q⌉ —
+// matching the paper's layout where all blocks but the last grid row/column
+// are square. A uniform block origin (i*size for every i) is what makes the
+// per-block upper-triangle trick of Fig. 11 partition the global
+// upper-triangular pairs exactly.
+func BlockRange(n spmat.Index, q, i int) (lo, hi spmat.Index) {
+	size := (n + spmat.Index(q) - 1) / spmat.Index(q)
+	lo = size * spmat.Index(i)
+	if lo > n {
+		lo = n
+	}
+	hi = size * spmat.Index(i+1)
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// BlockOf returns which of the q blocks owns global index x.
+func BlockOf(x, n spmat.Index, q int) int {
+	size := (n + spmat.Index(q) - 1) / spmat.Index(q)
+	return int(x / size)
+}
+
+// Codec serializes matrix values for communication.
+type Codec[T any] struct {
+	Append func(dst []byte, v T) []byte
+	Decode func(src []byte) (T, int)
+}
+
+// Int64Codec, Int32Codec and Float64Codec cover the common value types.
+var Int64Codec = Codec[int64]{
+	Append: func(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) },
+	Decode: func(src []byte) (int64, int) { return int64(getU64(src)), 8 },
+}
+
+var Float64Codec = Codec[float64]{
+	Append: func(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) },
+	Decode: func(src []byte) (float64, int) { return math.Float64frombits(getU64(src)), 8 },
+}
+
+var Int32Codec = Codec[int32]{
+	Append: func(dst []byte, v int32) []byte {
+		return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	},
+	Decode: func(src []byte) (int32, int) {
+		return int32(uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24), 4
+	},
+}
+
+// Mat is a 2D block-distributed sparse matrix. Process (i,j) stores the
+// block covering global rows BlockRange(Rows,q,i) × cols BlockRange(Cols,q,j)
+// as a local DCSC with block-local indices.
+type Mat[T any] struct {
+	Grid       *Grid
+	Rows, Cols spmat.Index
+	Local      *spmat.DCSC[T]
+	codec      Codec[T]
+}
+
+// RowOffset and ColOffset return the global index of the local block origin.
+func (m *Mat[T]) RowOffset() spmat.Index {
+	lo, _ := BlockRange(m.Rows, m.Grid.Q, m.Grid.MyRow)
+	return lo
+}
+
+func (m *Mat[T]) ColOffset() spmat.Index {
+	lo, _ := BlockRange(m.Cols, m.Grid.Q, m.Grid.MyCol)
+	return lo
+}
+
+// buildOps is the charged cost (generic ops) per triple during sorts,
+// shuffles and merges.
+const buildOps = 12
+
+// NewFromTriples builds a distributed matrix from triples scattered across
+// ranks with arbitrary global indices: one Alltoallv routes each triple to
+// its owner block, which assembles its local DCSC. Duplicates accumulate
+// via add (nil add panics on duplicates). Collective: every grid rank must
+// call it.
+func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T],
+	codec Codec[T], add func(T, T) T) (*Mat[T], error) {
+
+	clock := g.Comm.Clock()
+	bufs := make([][]byte, g.Comm.Size())
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("dmat: triple (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+		owner := g.RankOf(BlockOf(t.Row, rows, g.Q), BlockOf(t.Col, cols, g.Q))
+		b := bufs[owner]
+		b = appendU64(b, uint64(t.Row))
+		b = appendU64(b, uint64(t.Col))
+		b = codec.Append(b, t.Val)
+		bufs[owner] = b
+	}
+	clock.Ops(float64(len(ts)) * buildOps)
+	parts := g.Comm.Alltoallv(bufs)
+
+	m := &Mat[T]{Grid: g, Rows: rows, Cols: cols, codec: codec}
+	rowOff, colOff := m.RowOffset(), m.ColOffset()
+	var local []spmat.Triple[T]
+	for _, part := range parts {
+		for len(part) > 0 {
+			r := spmat.Index(getU64(part))
+			c := spmat.Index(getU64(part[8:]))
+			v, n := codec.Decode(part[16:])
+			part = part[16+n:]
+			local = append(local, spmat.Triple[T]{Row: r - rowOff, Col: c - colOff, Val: v})
+		}
+	}
+	clock.Ops(float64(len(local)) * buildOps)
+	rLo, rHi := BlockRange(rows, g.Q, g.MyRow)
+	cLo, cHi := BlockRange(cols, g.Q, g.MyCol)
+	loc, err := spmat.FromTriples(rHi-rLo, cHi-cLo, local, add)
+	if err != nil {
+		return nil, err
+	}
+	m.Local = loc
+	return m, nil
+}
+
+// NNZ returns the global nonzero count (collective).
+func (m *Mat[T]) NNZ() int64 {
+	return m.Grid.Comm.AllreduceInt64("sum", int64(m.Local.NNZ()))
+}
+
+// GatherTriples collects the full matrix as global-index triples on grid
+// rank 0 (nil elsewhere). Collective; for tests, output and small data.
+func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
+	var buf []byte
+	rowOff, colOff := m.RowOffset(), m.ColOffset()
+	for _, t := range m.Local.ToTriples() {
+		buf = appendU64(buf, uint64(t.Row+rowOff))
+		buf = appendU64(buf, uint64(t.Col+colOff))
+		buf = m.codec.Append(buf, t.Val)
+	}
+	parts := m.Grid.Comm.Gatherv(0, buf)
+	if parts == nil {
+		return nil
+	}
+	var out []spmat.Triple[T]
+	for _, part := range parts {
+		for len(part) > 0 {
+			r := spmat.Index(getU64(part))
+			c := spmat.Index(getU64(part[8:]))
+			v, n := m.codec.Decode(part[16:])
+			part = part[16+n:]
+			out = append(out, spmat.Triple[T]{Row: r, Col: c, Val: v})
+		}
+	}
+	return out
+}
+
+// encodeBlock serializes a local DCSC for broadcast within SUMMA by writing
+// the compressed arrays directly (CombBLAS ships CSC arrays the same way);
+// no re-sorting is needed on the receiving side.
+func encodeBlock[T any](b *spmat.DCSC[T], codec Codec[T]) []byte {
+	buf := make([]byte, 0, 32+len(b.JC)*16+len(b.IR)*8+len(b.Vals)*8)
+	buf = appendU64(buf, uint64(b.NumRows))
+	buf = appendU64(buf, uint64(b.NumCols))
+	buf = appendU64(buf, uint64(len(b.JC)))
+	buf = appendU64(buf, uint64(b.NNZ()))
+	for _, c := range b.JC {
+		buf = appendU64(buf, uint64(c))
+	}
+	for _, p := range b.CP {
+		buf = appendU64(buf, uint64(p))
+	}
+	for _, r := range b.IR {
+		buf = appendU64(buf, uint64(r))
+	}
+	for _, v := range b.Vals {
+		buf = codec.Append(buf, v)
+	}
+	return buf
+}
+
+func decodeBlock[T any](buf []byte, codec Codec[T]) (*spmat.DCSC[T], error) {
+	if len(buf) < 32 {
+		return nil, fmt.Errorf("dmat: truncated block header")
+	}
+	m := &spmat.DCSC[T]{
+		NumRows: spmat.Index(getU64(buf)),
+		NumCols: spmat.Index(getU64(buf[8:])),
+	}
+	ncols := int(getU64(buf[16:]))
+	nnz := int(getU64(buf[24:]))
+	buf = buf[32:]
+	if want := (ncols*2 + 1 + nnz) * 8; len(buf) < want {
+		return nil, fmt.Errorf("dmat: block payload %d bytes, need at least %d", len(buf), want)
+	}
+	m.JC = make([]spmat.Index, ncols)
+	for i := range m.JC {
+		m.JC[i] = spmat.Index(getU64(buf))
+		buf = buf[8:]
+	}
+	m.CP = make([]int, ncols+1)
+	for i := range m.CP {
+		m.CP[i] = int(getU64(buf))
+		buf = buf[8:]
+	}
+	m.IR = make([]spmat.Index, nnz)
+	for i := range m.IR {
+		m.IR[i] = spmat.Index(getU64(buf))
+		buf = buf[8:]
+	}
+	m.Vals = make([]T, nnz)
+	for i := range m.Vals {
+		v, n := codec.Decode(buf)
+		m.Vals[i] = v
+		buf = buf[n:]
+	}
+	return m, nil
+}
+
+// SpGEMMOpts tunes the distributed multiply.
+type SpGEMMOpts struct {
+	// FlopOps is the charged generic-op cost per semiring multiply.
+	FlopOps float64
+	// UseHeapKernel selects the heap local kernel instead of hash.
+	UseHeapKernel bool
+}
+
+// DefaultSpGEMMOpts charges 8 ops per semiring flop with the hash kernel.
+func DefaultSpGEMMOpts() SpGEMMOpts { return SpGEMMOpts{FlopOps: 8} }
+
+// SpGEMM computes C = A·B over semiring sr with 2D Sparse SUMMA: q stages,
+// each broadcasting one block column of A along grid rows and one block row
+// of B along grid columns, followed by a local semiring multiply; stage
+// products merge with sr.Add. Collective over the grid.
+func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
+	codecC Codec[C], opts SpGEMMOpts) (*Mat[C], error) {
+
+	if a.Grid != b.Grid {
+		return nil, fmt.Errorf("dmat: SpGEMM operands on different grids")
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("dmat: SpGEMM inner dimension %d vs %d", a.Cols, b.Rows)
+	}
+	g := a.Grid
+	clock := g.Comm.Clock()
+	if opts.FlopOps <= 0 {
+		opts.FlopOps = 8
+	}
+
+	var accum []spmat.Triple[C]
+	for s := 0; s < g.Q; s++ {
+		// Broadcast A's block column s along each grid row.
+		var aPayload []byte
+		if g.MyCol == s {
+			aPayload = encodeBlock(a.Local, a.codec)
+		}
+		aPayload = g.RowComm.Bcast(s, aPayload)
+		aBlk, err := decodeBlock(aPayload, a.codec)
+		if err != nil {
+			return nil, fmt.Errorf("dmat: stage %d decode A: %w", s, err)
+		}
+		// Broadcast B's block row s along each grid column.
+		var bPayload []byte
+		if g.MyRow == s {
+			bPayload = encodeBlock(b.Local, b.codec)
+		}
+		bPayload = g.ColComm.Bcast(s, bPayload)
+		bBlk, err := decodeBlock(bPayload, b.codec)
+		if err != nil {
+			return nil, fmt.Errorf("dmat: stage %d decode B: %w", s, err)
+		}
+
+		var prod *spmat.DCSC[C]
+		var stats spmat.Stats
+		if opts.UseHeapKernel {
+			prod, stats, err = spmat.SpGEMMHeap(aBlk, bBlk, sr)
+		} else {
+			prod, stats, err = spmat.SpGEMMHash(aBlk, bBlk, sr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dmat: stage %d multiply: %w", s, err)
+		}
+		clock.Ops(float64(stats.Flops) * opts.FlopOps)
+		accum = append(accum, prod.ToTriples()...)
+	}
+	clock.Ops(float64(len(accum)) * buildOps)
+
+	rLo, rHi := BlockRange(a.Rows, g.Q, g.MyRow)
+	cLo, cHi := BlockRange(b.Cols, g.Q, g.MyCol)
+	local, err := spmat.FromTriples(rHi-rLo, cHi-cLo, accum, sr.Add)
+	if err != nil {
+		return nil, err
+	}
+	return &Mat[C]{Grid: g, Rows: a.Rows, Cols: b.Cols, Local: local, codec: codecC}, nil
+}
+
+// Transpose returns Aᵀ: each block transposes locally and moves to its
+// mirrored grid position via one all-to-all. Collective.
+func (m *Mat[T]) Transpose() *Mat[T] {
+	g := m.Grid
+	clock := g.Comm.Clock()
+	tBlock := m.Local.Transpose()
+	clock.Ops(float64(m.Local.NNZ()) * buildOps)
+
+	partner := g.RankOf(g.MyCol, g.MyRow)
+	bufs := make([][]byte, g.Comm.Size())
+	bufs[partner] = encodeBlock(tBlock, m.codec)
+	parts := g.Comm.Alltoallv(bufs)
+
+	local, err := decodeBlock(parts[partner], m.codec)
+	if err != nil {
+		panic(fmt.Sprintf("dmat: transpose decode: %v", err)) // our own encoding
+	}
+	return &Mat[T]{Grid: g, Rows: m.Cols, Cols: m.Rows, Local: local, codec: m.codec}
+}
+
+// EWiseAdd merges two identically-shaped distributed matrices block-wise.
+func EWiseAdd[T any](a, b *Mat[T], add func(T, T) T) (*Mat[T], error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Grid != b.Grid {
+		return nil, fmt.Errorf("dmat: EWiseAdd mismatch")
+	}
+	local, err := spmat.EWiseAdd(a.Local, b.Local, add)
+	if err != nil {
+		return nil, err
+	}
+	a.Grid.Comm.Clock().Ops(float64(local.NNZ()) * buildOps)
+	return &Mat[T]{Grid: a.Grid, Rows: a.Rows, Cols: a.Cols, Local: local, codec: a.codec}, nil
+}
+
+// Symmetrize returns A + Aᵀ for a square matrix: the distributed
+// symmetrization step required after (AS)Aᵀ (paper Fig. 15 "symmetricize").
+func (m *Mat[T]) Symmetrize(add func(T, T) T) (*Mat[T], error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("dmat: Symmetrize on %dx%d", m.Rows, m.Cols)
+	}
+	return EWiseAdd(m, m.Transpose(), add)
+}
+
+// ColumnCounts returns, for every nonempty global column of this rank's
+// block-column range, the total nonzero count across the whole grid column.
+// A global column is split across the q blocks of one grid column, so one
+// allgather over ColComm suffices. Collective over the grid.
+func (m *Mat[T]) ColumnCounts() map[spmat.Index]int64 {
+	colOff := m.ColOffset()
+	local := make(map[spmat.Index]int64, m.Local.NonemptyCols())
+	for c, col := range m.Local.JC {
+		local[col+colOff] += int64(m.Local.CP[c+1] - m.Local.CP[c])
+	}
+	buf := make([]byte, 0, 16*len(local))
+	// Serialize deterministically (sorted by column id).
+	cols := make([]spmat.Index, 0, len(local))
+	for col := range local {
+		cols = append(cols, col)
+	}
+	sortIndices(cols)
+	for _, col := range cols {
+		buf = appendU64(buf, uint64(col))
+		buf = appendU64(buf, uint64(local[col]))
+	}
+	parts := m.Grid.ColComm.Allgather(buf)
+	total := make(map[spmat.Index]int64, len(local)*2)
+	for _, part := range parts {
+		for len(part) > 0 {
+			col := spmat.Index(getU64(part))
+			cnt := int64(getU64(part[8:]))
+			part = part[16:]
+			total[col] += cnt
+		}
+	}
+	m.Grid.Comm.Clock().Ops(float64(len(total)) * 4)
+	return total
+}
+
+func sortIndices(xs []spmat.Index) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Map returns a copy with f applied to every stored value, preserving
+// structure and codec.
+func (m *Mat[T]) Map(f func(T) T) *Mat[T] {
+	local := spmat.Apply(m.Local, func(r, c spmat.Index, v T) T { return f(v) })
+	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
+	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+}
+
+// Map2 is Map with access to the global indices.
+func (m *Mat[T]) Map2(f func(row, col spmat.Index, v T) T) *Mat[T] {
+	rowOff, colOff := m.RowOffset(), m.ColOffset()
+	local := spmat.Apply(m.Local, func(r, c spmat.Index, v T) T {
+		return f(r+rowOff, c+colOff, v)
+	})
+	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
+	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+}
+
+// Prune filters nonzeros locally with the predicate on global indices.
+func (m *Mat[T]) Prune(keep func(row, col spmat.Index, v T) bool) *Mat[T] {
+	rowOff, colOff := m.RowOffset(), m.ColOffset()
+	local := m.Local.Prune(func(r, c spmat.Index, v T) bool {
+		return keep(r+rowOff, c+colOff, v)
+	})
+	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
+	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

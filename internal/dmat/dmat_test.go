@@ -1,0 +1,440 @@
+package dmat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// runGrid executes fn on a fresh p-rank cluster (p must be square).
+func runGrid(t testing.TB, p int, fn func(g *Grid) error) *mpi.Cluster {
+	t.Helper()
+	cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := NewGrid(c)
+		if err != nil {
+			return err
+		}
+		return fn(g)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func randomTriples(rng *rand.Rand, rows, cols spmat.Index, nnz int) []spmat.Triple[float64] {
+	seen := map[[2]spmat.Index]bool{}
+	var ts []spmat.Triple[float64]
+	for len(ts) < nnz {
+		r, c := spmat.Index(rng.Int63n(int64(rows))), spmat.Index(rng.Int63n(int64(cols)))
+		if seen[[2]spmat.Index{r, c}] {
+			continue
+		}
+		seen[[2]spmat.Index{r, c}] = true
+		ts = append(ts, spmat.Triple[float64]{Row: r, Col: c, Val: float64(rng.Intn(9) + 1)})
+	}
+	return ts
+}
+
+// scatter deals triples round-robin to ranks, mimicking arbitrary origin.
+func scatter(ts []spmat.Triple[float64], rank, p int) []spmat.Triple[float64] {
+	var mine []spmat.Triple[float64]
+	for i, t := range ts {
+		if i%p == rank {
+			mine = append(mine, t)
+		}
+	}
+	return mine
+}
+
+func sortTriples(ts []spmat.Triple[float64]) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Col != ts[j].Col {
+			return ts[i].Col < ts[j].Col
+		}
+		return ts[i].Row < ts[j].Row
+	})
+}
+
+func TestGridRequiresSquare(t *testing.T) {
+	cl := mpi.NewCluster(3, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		_, err := NewGrid(c)
+		return err
+	})
+	if err == nil {
+		t.Fatal("3 ranks should not form a grid")
+	}
+}
+
+func TestBlockRangeCoversAndBalances(t *testing.T) {
+	for _, n := range []spmat.Index{1, 7, 100, 191102976} {
+		for _, q := range []int{1, 2, 3, 7} {
+			var prev spmat.Index
+			for i := 0; i < q; i++ {
+				lo, hi := BlockRange(n, q, i)
+				if lo != prev {
+					t.Fatalf("n=%d q=%d block %d gap: lo=%d prev=%d", n, q, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("negative block size")
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d q=%d: blocks cover %d", n, q, prev)
+			}
+		}
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	n := spmat.Index(100)
+	for q := 1; q <= 9; q++ {
+		for x := spmat.Index(0); x < n; x++ {
+			i := BlockOf(x, n, q)
+			lo, hi := BlockRange(n, q, i)
+			if x < lo || x >= hi {
+				t.Fatalf("BlockOf(%d, %d, %d) = %d covers [%d,%d)", x, n, q, i, lo, hi)
+			}
+		}
+	}
+}
+
+func TestNewFromTriplesAndGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := randomTriples(rng, 50, 70, 300)
+	for _, p := range []int{1, 4, 9} {
+		runGrid(t, p, func(g *Grid) error {
+			mine := scatter(want, g.Comm.Rank(), p)
+			m, err := NewFromTriples(g, 50, 70, mine, Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			if nnz := m.NNZ(); nnz != 300 {
+				return fmt.Errorf("NNZ = %d, want 300", nnz)
+			}
+			got := m.GatherTriples()
+			if g.Comm.Rank() != 0 {
+				if got != nil {
+					return fmt.Errorf("non-root gathered data")
+				}
+				return nil
+			}
+			if len(got) != len(want) {
+				return fmt.Errorf("gathered %d, want %d", len(got), len(want))
+			}
+			w := append([]spmat.Triple[float64](nil), want...)
+			sortTriples(w)
+			sortTriples(got)
+			for i := range w {
+				if got[i] != w[i] {
+					return fmt.Errorf("triple %d: %+v != %+v", i, got[i], w[i])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestNewFromTriplesOutOfRange(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := NewGrid(c)
+		if err != nil {
+			return err
+		}
+		_, err = NewFromTriples(g, 5, 5,
+			[]spmat.Triple[float64]{{Row: 9, Col: 0, Val: 1}}, Float64Codec, nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("out-of-range triple should fail")
+	}
+}
+
+// Distributed SpGEMM must equal serial SpGEMM for every grid size; this is
+// the core correctness statement for the SUMMA implementation.
+func TestSpGEMMMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, k, mcols := spmat.Index(40), spmat.Index(60), spmat.Index(30)
+	aT := randomTriples(rng, n, k, 250)
+	bT := randomTriples(rng, k, mcols, 250)
+
+	aLoc, err := spmat.FromTriples(n, k, aT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bLoc, err := spmat.FromTriples(k, mcols, bT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMat, _, err := spmat.SpGEMMHash(aLoc, bLoc, spmat.Arithmetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantMat.ToTriples()
+	sortTriples(want)
+
+	for _, p := range []int{1, 4, 9, 16} {
+		for _, heap := range []bool{false, true} {
+			runGrid(t, p, func(g *Grid) error {
+				a, err := NewFromTriples(g, n, k, scatter(aT, g.Comm.Rank(), p), Float64Codec, nil)
+				if err != nil {
+					return err
+				}
+				b, err := NewFromTriples(g, k, mcols, scatter(bT, g.Comm.Rank(), p), Float64Codec, nil)
+				if err != nil {
+					return err
+				}
+				opts := DefaultSpGEMMOpts()
+				opts.UseHeapKernel = heap
+				c, err := SpGEMM(a, b, spmat.Arithmetic, Float64Codec, opts)
+				if err != nil {
+					return err
+				}
+				got := c.GatherTriples()
+				if g.Comm.Rank() != 0 {
+					return nil
+				}
+				sortTriples(got)
+				if len(got) != len(want) {
+					return fmt.Errorf("p=%d heap=%v: %d nonzeros, want %d", p, heap, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return fmt.Errorf("p=%d heap=%v: triple %d: %+v != %+v",
+							p, heap, i, got[i], want[i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestSpGEMMDimMismatch(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := NewGrid(c)
+		if err != nil {
+			return err
+		}
+		a, _ := NewFromTriples(g, 5, 6, nil, Float64Codec, nil)
+		b, _ := NewFromTriples(g, 7, 5, nil, Float64Codec, nil)
+		_, err = SpGEMM(a, b, spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+		return err
+	})
+	if err == nil {
+		t.Fatal("inner dimension mismatch should fail")
+	}
+}
+
+func TestDistributedTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := randomTriples(rng, 33, 45, 200)
+	for _, p := range []int{1, 4, 9} {
+		runGrid(t, p, func(g *Grid) error {
+			m, err := NewFromTriples(g, 33, 45, scatter(ts, g.Comm.Rank(), p), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			tr := m.Transpose()
+			if tr.Rows != 45 || tr.Cols != 33 {
+				return fmt.Errorf("transpose dims %dx%d", tr.Rows, tr.Cols)
+			}
+			got := tr.GatherTriples()
+			if g.Comm.Rank() != 0 {
+				return nil
+			}
+			if len(got) != len(ts) {
+				return fmt.Errorf("transpose has %d nnz, want %d", len(got), len(ts))
+			}
+			want := make([]spmat.Triple[float64], len(ts))
+			for i, t := range ts {
+				want[i] = spmat.Triple[float64]{Row: t.Col, Col: t.Row, Val: t.Val}
+			}
+			sortTriples(want)
+			sortTriples(got)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("transpose triple %d: %+v != %+v", i, got[i], want[i])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ts := randomTriples(rng, 20, 20, 60)
+	runGrid(t, 4, func(g *Grid) error {
+		m, err := NewFromTriples(g, 20, 20, scatter(ts, g.Comm.Rank(), 4), Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		sym, err := m.Symmetrize(func(a, b float64) float64 { return a + b })
+		if err != nil {
+			return err
+		}
+		got := sym.GatherTriples()
+		if g.Comm.Rank() != 0 {
+			return nil
+		}
+		byPos := map[[2]spmat.Index]float64{}
+		for _, tr := range got {
+			byPos[[2]spmat.Index{tr.Row, tr.Col}] = tr.Val
+		}
+		for pos, v := range byPos {
+			if byPos[[2]spmat.Index{pos[1], pos[0]}] != v {
+				return fmt.Errorf("not symmetric at %v", pos)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPruneGlobalIndices(t *testing.T) {
+	ts := []spmat.Triple[float64]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 9, Col: 9, Val: 2},
+		{Row: 3, Col: 7, Val: 3}, {Row: 7, Col: 3, Val: 4},
+	}
+	runGrid(t, 4, func(g *Grid) error {
+		m, err := NewFromTriples(g, 10, 10, scatter(ts, g.Comm.Rank(), 4), Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		// Keep strictly-upper-triangular entries (global indices!).
+		up := m.Prune(func(r, c spmat.Index, v float64) bool { return r < c })
+		got := up.GatherTriples()
+		if g.Comm.Rank() != 0 {
+			return nil
+		}
+		if len(got) != 1 || got[0].Row != 3 || got[0].Col != 7 {
+			return fmt.Errorf("prune kept %+v", got)
+		}
+		return nil
+	})
+}
+
+// The distributed result must be identical for every process count:
+// the paper's reproducibility property (Section V).
+func TestProcessCountOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := spmat.Index(30)
+	aT := randomTriples(rng, n, n, 150)
+
+	var reference []spmat.Triple[float64]
+	for _, p := range []int{1, 4, 9, 25} {
+		var gathered []spmat.Triple[float64]
+		runGrid(t, p, func(g *Grid) error {
+			a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), p), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			b, err := SpGEMM(a, a.Transpose(), spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+			if err != nil {
+				return err
+			}
+			if g.Comm.Rank() == 0 {
+				gathered = b.GatherTriples()
+			} else {
+				b.GatherTriples()
+			}
+			return nil
+		})
+		sortTriples(gathered)
+		if reference == nil {
+			reference = gathered
+			continue
+		}
+		if len(gathered) != len(reference) {
+			t.Fatalf("p=%d: %d nnz vs reference %d", p, len(gathered), len(reference))
+		}
+		for i := range reference {
+			if gathered[i] != reference[i] {
+				t.Fatalf("p=%d: triple %d differs: %+v vs %+v",
+					p, i, gathered[i], reference[i])
+			}
+		}
+	}
+}
+
+// More ranks must increase total communication volume and per-run virtual
+// time must remain deterministic.
+func TestSpGEMMVirtualTimeDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := spmat.Index(64)
+	aT := randomTriples(rng, n, n, 400)
+	timeFor := func(p int) float64 {
+		cl := runGrid(t, p, func(g *Grid) error {
+			a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), p), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			_, err = SpGEMM(a, a.Transpose(), spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+			return err
+		})
+		return cl.MaxTime()
+	}
+	if a, b := timeFor(4), timeFor(4); a != b {
+		t.Errorf("virtual time nondeterministic: %g vs %g", a, b)
+	}
+}
+
+func TestColumnCounts(t *testing.T) {
+	ts := []spmat.Triple[float64]{
+		{Row: 0, Col: 3, Val: 1}, {Row: 5, Col: 3, Val: 1}, {Row: 9, Col: 3, Val: 1},
+		{Row: 2, Col: 7, Val: 1},
+		{Row: 1, Col: 0, Val: 1}, {Row: 8, Col: 0, Val: 1},
+	}
+	for _, p := range []int{1, 4, 9} {
+		runGrid(t, p, func(g *Grid) error {
+			m, err := NewFromTriples(g, 10, 10, scatter(ts, g.Comm.Rank(), p), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			counts := m.ColumnCounts()
+			// Each rank must see the full count for columns in its block range.
+			cLo, cHi := BlockRange(10, g.Q, g.MyCol)
+			want := map[spmat.Index]int64{3: 3, 7: 1, 0: 2}
+			for col, n := range want {
+				if col < cLo || col >= cHi {
+					continue
+				}
+				if counts[col] != n {
+					return fmt.Errorf("p=%d col %d count = %d, want %d", p, col, counts[col], n)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestMap2GlobalIndices(t *testing.T) {
+	ts := []spmat.Triple[float64]{{Row: 0, Col: 0, Val: 1}, {Row: 9, Col: 9, Val: 1}}
+	runGrid(t, 4, func(g *Grid) error {
+		m, err := NewFromTriples(g, 10, 10, scatter(ts, g.Comm.Rank(), 4), Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		// Encode the global coordinates into the value.
+		enc := m.Map2(func(r, c spmat.Index, v float64) float64 {
+			return float64(r*100 + c)
+		})
+		for _, tr := range enc.GatherTriples() {
+			if g.Comm.Rank() == 0 {
+				if tr.Val != float64(tr.Row*100+tr.Col) {
+					return fmt.Errorf("Map2 saw wrong indices: %+v", tr)
+				}
+			}
+		}
+		return nil
+	})
+}

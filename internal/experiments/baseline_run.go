@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/last"
+	"repro/internal/mmseqs"
+	"repro/internal/mpi"
+)
+
+func defaultMMseqs() mmseqs.Config { return mmseqs.DefaultConfig() }
+
+// runMMseqs executes the MMseqs2-like baseline and returns gathered edges
+// plus the virtual makespan.
+func runMMseqs(recs []fasta.Record, nodes int, cfg mmseqs.Config) ([]core.Edge, float64, error) {
+	return runMMseqsModel(recs, nodes, cfg, mpi.DefaultCostModel())
+}
+
+// runMMseqsModel is runMMseqs with explicit virtual-time constants.
+func runMMseqsModel(recs []fasta.Record, nodes int, cfg mmseqs.Config, model mpi.CostModel) ([]core.Edge, float64, error) {
+	var edges []core.Edge
+	cl := mpi.NewCluster(nodes, model)
+	err := cl.Run(func(c *mpi.Comm) error {
+		e, _, err := mmseqs.Run(c, recs, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			edges = e
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return edges, cl.MaxTime(), nil
+}
+
+func lastDefault() last.Config { return last.DefaultConfig() }
+
+// runLAST executes the LAST-like baseline (single node) and returns edges
+// plus the virtual time of the serial run.
+func runLAST(recs []fasta.Record, cfg last.Config) ([]core.Edge, float64, error) {
+	return runLASTModel(recs, cfg, mpi.DefaultCostModel())
+}
+
+func runLASTModel(recs []fasta.Record, cfg last.Config, model mpi.CostModel) ([]core.Edge, float64, error) {
+	var edges []core.Edge
+	cl := mpi.NewCluster(1, model)
+	err := cl.Run(func(c *mpi.Comm) error {
+		e, stats, err := last.Run(recs, cfg)
+		if err != nil {
+			return err
+		}
+		c.Clock().Ops(float64(stats.Suffixes)*40 + float64(stats.Seeds)*25 +
+			float64(stats.Candidates)*8 + float64(stats.Aligned)*4000)
+		edges = e
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return edges, cl.MaxTime(), nil
+}

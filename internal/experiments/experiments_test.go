@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tiny returns a scale small enough for unit tests (seconds, not minutes).
+func tiny() Scale {
+	return Scale{
+		Name:     "tiny",
+		DatasetA: 60, DatasetB: 120,
+		NodesSmall:     []int{1, 4, 16},
+		ScalingDataset: 120,
+		NodesLarge:     []int{16, 64},
+		WeakBase:       50,
+		WeakNodes:      []int{4, 16},
+		ScopeFamilies:  5,
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "x", Title: "test", Columns: []string{"a", "bb"}}
+	tb.Add("1", 2.5)
+	tb.Add("longer", 3)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== x: test ==") || !strings.Contains(out, "longer") {
+		t.Errorf("formatting output:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "1,2.5\n") {
+		t.Errorf("csv output:\n%s", csv)
+	}
+}
+
+func TestSquareAtMost(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 1, 4: 4, 8: 4, 9: 9, 255: 225, 256: 256, 2048: 2025, 2025: 2025}
+	for in, want := range cases {
+		if got := squareAtMost(in); got != want {
+			t.Errorf("squareAtMost(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestGetRegistry(t *testing.T) {
+	if len(All()) != 11 {
+		t.Errorf("expected 11 experiments, got %d", len(All()))
+	}
+	if _, err := Get("fig12"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+// Smoke-run the cheap experiments end to end at tiny scale; the expensive
+// ones are covered by the benchmark suite and integration test.
+func TestScalingExperimentsRun(t *testing.T) {
+	sc := tiny()
+	defer Reset()
+	for _, id := range []string{"fig14strong", "fig14weak", "fig15", "fig16"} {
+		exp, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := exp.Fn(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+// Strong scaling must actually scale: more nodes => less virtual time, for
+// every substitute-k-mer count.
+func TestStrongScalingShape(t *testing.T) {
+	sc := tiny()
+	sc.NodesLarge = []int{16, 64, 256}
+	defer Reset()
+	tb, err := Fig14Strong(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSubs, violations int
+	var prevTime float64
+	prevSubs = -1
+	for _, row := range tb.Rows {
+		subs, tm := row[0], row[2]
+		var s int
+		var v float64
+		if _, err := fmtSscan(subs, &s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(tm, &v); err != nil {
+			t.Fatal(err)
+		}
+		if s == prevSubs && v >= prevTime {
+			violations++
+		}
+		prevSubs, prevTime = s, v
+	}
+	if violations > 0 {
+		t.Errorf("%d scaling violations (time not decreasing with nodes):\n%s",
+			violations, tb.CSV())
+	}
+}
+
+// Weak scaling: nnz(B) must grow superlinearly (towards 4x per 2x
+// sequences), the paper's quadratic-output observation.
+func TestWeakScalingOutputGrowth(t *testing.T) {
+	sc := tiny()
+	defer Reset()
+	tb, err := Fig14Weak(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in groups of len(WeakNodes) per subs value; sequences double
+	// per step, so the sequence ratio across a group is 2^(steps-1).
+	group := len(sc.WeakNodes)
+	seqRatio := float64(int(1) << (group - 1))
+	for g := 0; g+group <= len(tb.Rows); g += group {
+		var first, last float64
+		if _, err := fmtSscan(tb.Rows[g][4], &first); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(tb.Rows[g+group-1][4], &last); err != nil {
+			t.Fatal(err)
+		}
+		// Quadratic output growth would be seqRatio^2; require comfortably
+		// superlinear (the full-scale harness shows the ~4x-per-doubling).
+		if last < first*seqRatio*1.3 {
+			t.Errorf("nnzB grew only %.1fx over %gx sequences (subs group %d)",
+				last/first, seqRatio, g/group)
+		}
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for terse error handling in tests.
+func fmtSscan(s string, v any) (int, error) {
+	return fmt.Sscan(s, v)
+}

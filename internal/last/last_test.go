@@ -1,0 +1,178 @@
+package last
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/synth"
+)
+
+func dataset(t testing.TB, seed int64) *synth.Labeled {
+	t.Helper()
+	data, err := synth.Generate(synth.Config{
+		Seed: seed, NumFamilies: 5, MembersMean: 4, Singletons: 8,
+		MinLen: 70, MaxLen: 150, Divergence: 0.2, IndelRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSuffixArraySorted(t *testing.T) {
+	text, err := alphabet.EncodeSeq([]byte("MKVLAWMKVAW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := buildSuffixArray(text)
+	if len(sa) != len(text) {
+		t.Fatalf("sa size %d", len(sa))
+	}
+	less := func(a, b int) bool {
+		s1, s2 := text[a:], text[b:]
+		n := min(len(s1), len(s2))
+		for i := 0; i < n; i++ {
+			if s1[i] != s2[i] {
+				return s1[i] < s2[i]
+			}
+		}
+		return len(s1) < len(s2)
+	}
+	for i := 1; i < len(sa); i++ {
+		if less(sa[i], sa[i-1]) {
+			t.Fatalf("suffix array out of order at %d", i)
+		}
+	}
+	// All offsets present exactly once.
+	seen := map[int]bool{}
+	for _, off := range sa {
+		if seen[off] {
+			t.Fatalf("duplicate offset %d", off)
+		}
+		seen[off] = true
+	}
+}
+
+func TestAdaptiveSeedFindsOccurrences(t *testing.T) {
+	// Text with the block "WHPLC" occurring twice.
+	text, _ := alphabet.EncodeSeq([]byte("AAWHPLCGGGGWHPLCRR"))
+	sa := buildSuffixArray(text)
+	query, _ := alphabet.EncodeSeq([]byte("WHPLC"))
+	cfg := DefaultConfig()
+	cfg.MaxInitialMatches = 3
+	lo, hi, seedLen := adaptiveSeed(text, sa, query, cfg)
+	if hi-lo != 2 {
+		t.Fatalf("expected 2 matches, got %d (seedLen %d)", hi-lo, seedLen)
+	}
+	offsets := append([]int(nil), sa[lo:hi]...)
+	sort.Ints(offsets)
+	if offsets[0] != 2 || offsets[1] != 11 {
+		t.Errorf("offsets = %v, want [2 11]", offsets)
+	}
+}
+
+// With a very low frequency threshold the seed must lengthen until rare.
+func TestAdaptiveSeedLengthens(t *testing.T) {
+	// "AAAAAAAAAA" + "AAC": seeds starting with A are frequent, so a query
+	// of As needs maximum length to get under the threshold.
+	text, _ := alphabet.EncodeSeq([]byte("AAAAAAAAAAAAC"))
+	sa := buildSuffixArray(text)
+	query, _ := alphabet.EncodeSeq([]byte("AAAA"))
+	cfg := DefaultConfig()
+	cfg.MaxInitialMatches = 2
+	_, _, seedLen := adaptiveSeed(text, sa, query, cfg)
+	if seedLen < 3 {
+		t.Errorf("seed should lengthen under a tight threshold, got %d", seedLen)
+	}
+}
+
+func TestSeqOf(t *testing.T) {
+	ct := &concat{starts: []int{0, 5, 9, 20}}
+	cases := []struct{ off, seq, pos int }{
+		{0, 0, 0}, {4, 0, 4}, {5, 1, 0}, {8, 1, 3}, {9, 2, 0}, {19, 2, 10},
+	}
+	for _, c := range cases {
+		s, p := ct.seqOf(c.off)
+		if s != c.seq || p != c.pos {
+			t.Errorf("seqOf(%d) = (%d,%d), want (%d,%d)", c.off, s, p, c.seq, c.pos)
+		}
+	}
+}
+
+func TestFindsFamilyPairs(t *testing.T) {
+	data := dataset(t, 1)
+	edges, stats, err := Run(data.Records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	if stats.Seeds == 0 || stats.Aligned == 0 {
+		t.Errorf("stats empty: %+v", stats)
+	}
+	intra, inter := 0, 0
+	for _, e := range edges {
+		if data.Families[e.R] >= 0 && data.Families[e.R] == data.Families[e.C] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 5*inter {
+		t.Errorf("precision proxy too low: %d intra, %d inter", intra, inter)
+	}
+}
+
+// Sensitivity (and work) must grow with the max-initial-matches parameter,
+// the knob the paper sweeps (100/200/300).
+func TestMaxInitialMatchesMonotone(t *testing.T) {
+	data := dataset(t, 2)
+	var prevCand int64 = -1
+	for _, m := range []int{10, 100, 300} {
+		cfg := DefaultConfig()
+		cfg.MaxInitialMatches = m
+		_, stats, err := Run(data.Records, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates < prevCand {
+			t.Errorf("m=%d: candidates %d decreased (prev %d)", m, stats.Candidates, prevCand)
+		}
+		prevCand = stats.Candidates
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	data := dataset(t, 3)
+	a, _, err := Run(data.Records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(data.Records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic edge count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs between runs", i)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, _, err := Run(nil, Config{MaxInitialMatches: 0}); err == nil {
+		t.Error("zero MaxInitialMatches should fail")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package mcl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dmat"
+	"repro/internal/mpi"
+)
+
+// runDist executes distributed MCL on p ranks with round-robin edge
+// ownership and returns rank 0's clustering.
+func runDist(t testing.TB, n int, edges []Edge, p int, cfg Config) [][]int {
+	t.Helper()
+	var out [][]int
+	cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		var mine []Edge
+		for i, e := range edges {
+			if i%p == c.Rank() {
+				mine = append(mine, e)
+			}
+		}
+		clusters, err := ClusterDistributed(g, n, mine, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = clusters
+		} else if clusters != nil {
+			return fmt.Errorf("non-root rank received clusters")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 36
+	var edges []Edge
+	// Three planted communities with sparse cross links.
+	for c := 0; c < 3; c++ {
+		base := int64(c * 12)
+		for i := int64(0); i < 12; i++ {
+			for j := i + 1; j < 12; j++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, Edge{R: base + i, C: base + j, Weight: 1})
+				}
+			}
+		}
+	}
+	edges = append(edges, Edge{R: 2, C: 14, Weight: 0.05}, Edge{R: 20, C: 30, Weight: 0.05})
+
+	want, err := Cluster(n, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 9} {
+		got := runDist(t, n, edges, p, DefaultConfig())
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d clusters vs serial %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("p=%d: cluster %d size %d vs %d", p, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("p=%d: cluster %d member %d differs", p, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedSplitsCommunities(t *testing.T) {
+	var edges []Edge
+	clique := func(members []int64) {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				edges = append(edges, Edge{R: members[i], C: members[j], Weight: 1})
+			}
+		}
+	}
+	clique([]int64{0, 1, 2, 3})
+	clique([]int64{4, 5, 6, 7})
+	edges = append(edges, Edge{R: 3, C: 4, Weight: 0.05})
+
+	clusters := runDist(t, 8, edges, 4, DefaultConfig())
+	if clusterOf(clusters, 0) == clusterOf(clusters, 4) {
+		t.Error("distributed MCL merged the two cliques")
+	}
+	if clusterOf(clusters, 0) != clusterOf(clusters, 3) ||
+		clusterOf(clusters, 4) != clusterOf(clusters, 7) {
+		t.Error("distributed MCL split a clique")
+	}
+}
+
+func TestDistributedErrors(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		if _, err := ClusterDistributed(g, 0, nil, DefaultConfig()); err == nil {
+			return fmt.Errorf("n=0 should fail")
+		}
+		bad := DefaultConfig()
+		bad.Inflation = 0.5
+		if _, err := ClusterDistributed(g, 4, nil, bad); err == nil {
+			return fmt.Errorf("inflation<=1 should fail")
+		}
+		if _, err := ClusterDistributed(g, 2, []Edge{{R: 0, C: 7, Weight: 1}}, DefaultConfig()); err == nil {
+			return fmt.Errorf("out-of-range edge should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

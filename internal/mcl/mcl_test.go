@@ -1,0 +1,167 @@
+package mcl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusterOf returns the index of the cluster containing node v.
+func clusterOf(clusters [][]int, v int) int {
+	for i, c := range clusters {
+		for _, m := range c {
+			if m == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestTwoCliques(t *testing.T) {
+	// Two 4-cliques joined by one weak edge: MCL must split them.
+	var edges []Edge
+	clique := func(members []int64, w float64) {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				edges = append(edges, Edge{R: members[i], C: members[j], Weight: w})
+			}
+		}
+	}
+	clique([]int64{0, 1, 2, 3}, 1.0)
+	clique([]int64{4, 5, 6, 7}, 1.0)
+	edges = append(edges, Edge{R: 3, C: 4, Weight: 0.05})
+
+	clusters, err := Cluster(8, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusterOf(clusters, 0) != clusterOf(clusters, 3) {
+		t.Error("clique 1 split")
+	}
+	if clusterOf(clusters, 4) != clusterOf(clusters, 7) {
+		t.Error("clique 2 split")
+	}
+	if clusterOf(clusters, 0) == clusterOf(clusters, 4) {
+		t.Error("cliques merged despite weak bridge")
+	}
+}
+
+func TestSingletonsStaySeparate(t *testing.T) {
+	clusters, err := Cluster(5, []Edge{{R: 0, C: 1, Weight: 1}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 4 { // {0,1}, {2}, {3}, {4}
+		t.Fatalf("got %d clusters: %v", len(clusters), clusters)
+	}
+}
+
+func TestClustersPartitionNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 40
+	var edges []Edge
+	for i := 0; i < 80; i++ {
+		edges = append(edges, Edge{
+			R: int64(rng.Intn(n)), C: int64(rng.Intn(n)), Weight: rng.Float64(),
+		})
+	}
+	clusters, err := Cluster(n, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, n)
+	for _, c := range clusters {
+		for _, m := range c {
+			seen[m]++
+		}
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Errorf("node %d appears in %d clusters", v, cnt)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 30
+	var edges []Edge
+	for i := 0; i < 60; i++ {
+		edges = append(edges, Edge{
+			R: int64(rng.Intn(n)), C: int64(rng.Intn(n)), Weight: 0.1 + rng.Float64(),
+		})
+	}
+	a, err := Cluster(n, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(n, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic cluster count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestHigherInflationFragmentsMore(t *testing.T) {
+	// A weakly connected chain: higher inflation should produce at least as
+	// many clusters (more granular).
+	var edges []Edge
+	const n = 12
+	for i := int64(0); i < n-1; i++ {
+		edges = append(edges, Edge{R: i, C: i + 1, Weight: 1})
+	}
+	low := DefaultConfig()
+	low.Inflation = 1.5
+	high := DefaultConfig()
+	high.Inflation = 4.0
+	a, err := Cluster(n, edges, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(n, edges, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < len(a) {
+		t.Errorf("inflation 4.0 gave %d clusters < %d at 1.5", len(b), len(a))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Cluster(0, nil, DefaultConfig()); err == nil {
+		t.Error("n=0 should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Inflation = 1.0
+	if _, err := Cluster(3, nil, cfg); err == nil {
+		t.Error("inflation 1.0 should fail")
+	}
+	if _, err := Cluster(2, []Edge{{R: 0, C: 5, Weight: 1}}, DefaultConfig()); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}
+
+func TestNegativeAndSelfEdgesIgnored(t *testing.T) {
+	clusters, err := Cluster(3, []Edge{
+		{R: 0, C: 0, Weight: 5},  // self loop: ignored (re-added internally)
+		{R: 0, C: 1, Weight: -2}, // non-positive: ignored
+	}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Errorf("got %d clusters, want 3 singletons", len(clusters))
+	}
+}

@@ -1,0 +1,202 @@
+package mmheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] { return New[int](func(a, b int) bool { return a < b }) }
+
+func TestBasicMinMax(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	if h.Min() != 1 {
+		t.Errorf("Min = %d, want 1", h.Min())
+	}
+	if h.Max() != 9 {
+		t.Errorf("Max = %d, want 9", h.Max())
+	}
+	if h.Len() != 6 {
+		t.Errorf("Len = %d, want 6", h.Len())
+	}
+}
+
+func TestSingleAndPair(t *testing.T) {
+	h := intHeap()
+	h.Push(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Errorf("singleton: Min=%d Max=%d, want 7/7", h.Min(), h.Max())
+	}
+	h.Push(3)
+	if h.Min() != 3 || h.Max() != 7 {
+		t.Errorf("pair: Min=%d Max=%d, want 3/7", h.Min(), h.Max())
+	}
+}
+
+func TestExtractMinDrainsSorted(t *testing.T) {
+	h := intHeap()
+	vals := []int{42, 7, 19, 3, 3, 88, -5, 0}
+	for _, v := range vals {
+		h.Push(v)
+	}
+	var got []int
+	for h.Len() > 0 {
+		got = append(got, h.ExtractMin())
+	}
+	want := append([]int(nil), vals...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExtractMin drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExtractMaxDrainsReverseSorted(t *testing.T) {
+	h := intHeap()
+	vals := []int{42, 7, 19, 3, 3, 88, -5, 0}
+	for _, v := range vals {
+		h.Push(v)
+	}
+	var got []int
+	for h.Len() > 0 {
+		got = append(got, h.ExtractMax())
+	}
+	want := append([]int(nil), vals...)
+	sort.Sort(sort.Reverse(sort.IntSlice(want)))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExtractMax drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	h := intHeap()
+	for name, f := range map[string]func(){
+		"Min": func() { h.Min() }, "Max": func() { h.Max() },
+		"ExtractMin": func() { h.ExtractMin() }, "ExtractMax": func() { h.ExtractMax() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Model-based test: interleave random pushes and extractions and compare
+// every observation against a sorted-slice reference model.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := intHeap()
+	var model []int
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(model) == 0:
+			v := rng.Intn(100)
+			h.Push(v)
+			model = append(model, v)
+			sort.Ints(model)
+		case op == 1:
+			if got, want := h.ExtractMin(), model[0]; got != want {
+				t.Fatalf("step %d: ExtractMin = %d, want %d", step, got, want)
+			}
+			model = model[1:]
+		case op == 2:
+			if got, want := h.ExtractMax(), model[len(model)-1]; got != want {
+				t.Fatalf("step %d: ExtractMax = %d, want %d", step, got, want)
+			}
+			model = model[:len(model)-1]
+		default:
+			if h.Min() != model[0] || h.Max() != model[len(model)-1] {
+				t.Fatalf("step %d: peek mismatch: Min=%d/%d Max=%d/%d",
+					step, h.Min(), model[0], h.Max(), model[len(model)-1])
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, want %d", step, h.Len(), len(model))
+		}
+	}
+}
+
+// Property: for any input slice, Min and Max equal the slice extremes.
+func TestMinMaxProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := intHeap()
+		lo, hi := int(vals[0]), int(vals[0])
+		for _, v := range vals {
+			h.Push(int(v))
+			if int(v) < lo {
+				lo = int(v)
+			}
+			if int(v) > hi {
+				hi = int(v)
+			}
+		}
+		return h.Min() == lo && h.Max() == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alternately extracting min and max always yields a sequence
+// where mins are non-decreasing and maxes non-increasing.
+func TestAlternatingExtractProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(int(v))
+		}
+		prevMin, prevMax := int(-1<<31), int(1<<31-1)
+		for h.Len() > 0 {
+			mn := h.ExtractMin()
+			if mn < prevMin {
+				return false
+			}
+			prevMin = mn
+			if h.Len() == 0 {
+				break
+			}
+			mx := h.ExtractMax()
+			if mx > prevMax || mx < mn {
+				return false
+			}
+			prevMax = mx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int, 1024)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := intHeap()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		for h.Len() > 16 {
+			h.ExtractMin()
+			h.ExtractMax()
+		}
+	}
+}

@@ -1,0 +1,746 @@
+// Package mpi provides the message-passing substrate PASTIS is written
+// against. The paper's implementation runs on MPI over a Cray XC40; this
+// package reproduces the MPI programming model in pure Go: every rank is a
+// goroutine, point-to-point messages and collectives move through in-memory
+// mailboxes, and sub-communicators support the 2D process-grid decomposition
+// of CombBLAS.
+//
+// # Virtual time
+//
+// Wall-clock time on a laptop cannot reproduce the paper's 64-2025 node
+// scaling studies, so each rank carries a deterministic virtual clock
+// (LogGP-style): local compute advances it by counted operations divided by
+// a calibrated rate, every message charges latency alpha plus bytes*beta,
+// and collectives follow the usual tree/bucket cost models and synchronize
+// participants. Because the clock depends only on operation and byte counts
+// — never on the Go scheduler — simulated times are exactly reproducible,
+// and the *shape* of scaling curves follows from the real communication
+// structure of the distributed algorithm being run.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// CostModel holds the machine constants of the virtual-time model.
+// Defaults approximate one Cori-class node per rank (the paper runs one MPI
+// rank per node with OpenMP inside; rates fold the intra-node threading in).
+type CostModel struct {
+	Alpha       float64 // point-to-point latency, seconds
+	Beta        float64 // per-byte transfer time, seconds/byte
+	ComputeRate float64 // generic local compute, ops/second
+	IORate      float64 // parallel filesystem read rate per rank, bytes/second
+}
+
+// DefaultCostModel returns constants calibrated to the paper's platform
+// scale: ~2us MPI latency, ~8GB/s injection bandwidth, and node-level
+// compute/IO rates. Absolute seconds are not meaningful — shapes are.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Alpha:       2e-6,
+		Beta:        1.25e-10,
+		ComputeRate: 2e9,
+		IORate:      1e9,
+	}
+}
+
+// Clock is one rank's virtual clock plus its accounting ledger.
+type Clock struct {
+	now       float64
+	model     CostModel
+	sent      int64 // bytes sent (p2p + collectives)
+	received  int64
+	messages  int64
+	sections  map[string]float64
+	openSect  []openSection
+	opsByName map[string]float64
+}
+
+type openSection struct {
+	name  string
+	start float64
+}
+
+func newClock(model CostModel) *Clock {
+	return &Clock{model: model, sections: make(map[string]float64), opsByName: make(map[string]float64)}
+}
+
+// Now returns the rank's current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves virtual time forward by d seconds (d < 0 is ignored).
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Ops charges n generic compute operations at the model's compute rate.
+func (c *Clock) Ops(n float64) { c.Advance(n / c.model.ComputeRate) }
+
+// IOBytes charges reading n bytes from the parallel filesystem.
+func (c *Clock) IOBytes(n int64) { c.Advance(float64(n) / c.model.IORate) }
+
+// BytesSent and BytesReceived report cumulative communication volume.
+func (c *Clock) BytesSent() int64     { return c.sent }
+func (c *Clock) BytesReceived() int64 { return c.received }
+func (c *Clock) Messages() int64      { return c.messages }
+
+// StartSection begins attributing elapsed virtual time to a named pipeline
+// component (sections may nest; each level accumulates independently).
+func (c *Clock) StartSection(name string) {
+	c.openSect = append(c.openSect, openSection{name: name, start: c.now})
+}
+
+// EndSection closes the innermost open section.
+func (c *Clock) EndSection() {
+	if len(c.openSect) == 0 {
+		panic("mpi: EndSection without StartSection")
+	}
+	s := c.openSect[len(c.openSect)-1]
+	c.openSect = c.openSect[:len(c.openSect)-1]
+	c.sections[s.name] += c.now - s.start
+}
+
+// Section runs fn inside a named section.
+func (c *Clock) Section(name string, fn func()) {
+	c.StartSection(name)
+	defer c.EndSection()
+	fn()
+}
+
+// Sections returns a copy of the per-component virtual-time ledger.
+func (c *Clock) Sections() map[string]float64 {
+	out := make(map[string]float64, len(c.sections))
+	for k, v := range c.sections {
+		out[k] = v
+	}
+	return out
+}
+
+// message is one point-to-point payload annotated with the virtual time at
+// which it becomes available to the receiver.
+type message struct {
+	data    []byte
+	arrival float64
+}
+
+type mailKey struct {
+	comm uint64
+	src  int // comm-local source rank
+	dst  int
+	tag  int
+}
+
+// mailbox is an unbounded FIFO so nonblocking sends never deadlock
+// (MPI eager protocol).
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) take() message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 {
+		mb.cond.Wait()
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m
+}
+
+// router owns every mailbox and the collective rendezvous state.
+type router struct {
+	mu          sync.Mutex
+	boxes       map[mailKey]*mailbox
+	collectives map[collKey]*collState
+}
+
+func (r *router) box(k mailKey) *mailbox {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mb, ok := r.boxes[k]
+	if !ok {
+		mb = newMailbox()
+		r.boxes[k] = mb
+	}
+	return mb
+}
+
+// Cluster is a virtual machine of p ranks sharing a cost model.
+type Cluster struct {
+	size       int
+	model      CostModel
+	router     *router
+	clocks     []*Clock
+	nextCommID uint64 // guarded by router.mu; 0 is the world communicator
+}
+
+// NewCluster creates a cluster of p ranks.
+func NewCluster(p int, model CostModel) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("mpi: cluster size %d", p))
+	}
+	cl := &Cluster{
+		size:   p,
+		model:  model,
+		router: &router{boxes: make(map[mailKey]*mailbox), collectives: make(map[collKey]*collState)},
+	}
+	cl.clocks = make([]*Clock, p)
+	for i := range cl.clocks {
+		cl.clocks[i] = newClock(model)
+	}
+	return cl
+}
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all of them. The first non-nil error is returned (all ranks still run to
+// completion so the cluster is quiescent afterwards).
+func (cl *Cluster) Run(fn func(*Comm) error) error {
+	errs := make([]error, cl.size)
+	var wg sync.WaitGroup
+	for r := 0; r < cl.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			c := &Comm{
+				cluster: cl,
+				id:      0,
+				rank:    rank,
+				size:    cl.size,
+				world:   rank,
+				clock:   cl.clocks[rank],
+				collSeq: new(uint64),
+			}
+			errs[rank] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxTime returns the virtual makespan: the maximum clock over ranks.
+func (cl *Cluster) MaxTime() float64 {
+	max := 0.0
+	for _, c := range cl.clocks {
+		if c.now > max {
+			max = c.now
+		}
+	}
+	return max
+}
+
+// SectionMax aggregates per-component virtual time as the maximum over
+// ranks, the convention used by the dissection plots.
+func (cl *Cluster) SectionMax() map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range cl.clocks {
+		for name, v := range c.sections {
+			if old, ok := out[name]; !ok || v > old {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+// SectionMean aggregates per-component virtual time averaged over ranks.
+func (cl *Cluster) SectionMean() map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range cl.clocks {
+		for name, v := range c.sections {
+			out[name] += v
+		}
+	}
+	for name := range out {
+		out[name] /= float64(cl.size)
+	}
+	return out
+}
+
+// TotalBytes returns cluster-wide communication volume.
+func (cl *Cluster) TotalBytes() int64 {
+	var n int64
+	for _, c := range cl.clocks {
+		n += c.sent
+	}
+	return n
+}
+
+// Comm is a communicator: a group of ranks that exchange messages and run
+// collectives, analogous to an MPI communicator.
+type Comm struct {
+	cluster *Cluster
+	id      uint64
+	rank    int // rank within this communicator
+	size    int
+	world   int // world rank of this process
+	clock   *Clock
+	collSeq *uint64 // per-rank sequence number of collective calls on this comm
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns the caller's rank in the original cluster.
+func (c *Comm) WorldRank() int { return c.world }
+
+// Clock returns the caller's virtual clock.
+func (c *Comm) Clock() *Clock { return c.clock }
+
+// Send transmits data to rank dst with the given tag (eager, buffered:
+// it never blocks). The sender is charged the latency overhead.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, c.size))
+	}
+	m := c.cluster.model
+	c.clock.Advance(m.Alpha)
+	c.clock.sent += int64(len(data))
+	c.clock.messages++
+	arrival := c.clock.now + m.Alpha + float64(len(data))*m.Beta
+	c.cluster.router.box(mailKey{comm: c.id, src: c.rank, dst: dst, tag: tag}).
+		put(message{data: data, arrival: arrival})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The receiver's clock advances to at least the
+// message arrival time.
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d of %d", src, c.size))
+	}
+	msg := c.cluster.router.box(mailKey{comm: c.id, src: src, dst: c.rank, tag: tag}).take()
+	if msg.arrival > c.clock.now {
+		c.clock.now = msg.arrival
+	}
+	c.clock.received += int64(len(msg.data))
+	return msg.data
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	wait func() []byte
+	data []byte
+	done bool
+}
+
+// Wait completes the operation and returns the received payload
+// (nil for sends).
+func (r *Request) Wait() []byte {
+	if !r.done {
+		r.data = r.wait()
+		r.done = true
+	}
+	return r.data
+}
+
+// Isend starts a nonblocking send. With the eager protocol the data is
+// buffered immediately; the returned request completes instantly.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.Send(dst, tag, data)
+	return &Request{done: true}
+}
+
+// Irecv starts a nonblocking receive. The matching message is claimed at
+// Wait time; because mailboxes are keyed by (src, tag) and FIFO per key,
+// this matches MPI ordering semantics for a single outstanding
+// receive per key.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{wait: func() []byte { return c.Recv(src, tag) }}
+}
+
+// Waitall completes every request and returns their payloads in order.
+func (c *Comm) Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// --- collectives ---
+
+type collKey struct {
+	comm uint64
+	seq  uint64
+}
+
+type collState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	released int
+	clocks   []float64
+	data     [][]byte
+	extra    []int64
+	ready    bool
+	// derived holds fresh communicator ids per split color, assigned once by
+	// the last-arriving rank from the cluster-wide counter.
+	derived map[int]uint64
+}
+
+func (cl *Cluster) coll(key collKey, size int) *collState {
+	r := cl.router
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.collectives[key]
+	if !ok {
+		st = &collState{clocks: make([]float64, size), data: make([][]byte, size), extra: make([]int64, size)}
+		st.cond = sync.NewCond(&st.mu)
+		r.collectives[key] = st
+	}
+	return st
+}
+
+func (cl *Cluster) collDone(key collKey) {
+	r := cl.router
+	r.mu.Lock()
+	delete(r.collectives, key)
+	r.mu.Unlock()
+}
+
+// rendezvous deposits this rank's contribution, blocks until all ranks of
+// the communicator arrive, and returns the shared state (valid until the
+// last rank returns; the last rank out removes the state).
+func (c *Comm) rendezvous(data []byte, extra int64) *collState {
+	*c.collSeq++
+	key := collKey{comm: c.id, seq: *c.collSeq}
+	st := c.cluster.coll(key, c.size)
+
+	st.mu.Lock()
+	st.clocks[c.rank] = c.clock.now
+	st.data[c.rank] = data
+	st.extra[c.rank] = extra
+	st.arrived++
+	if st.arrived == c.size {
+		st.ready = true
+		st.cond.Broadcast()
+	}
+	for !st.ready {
+		st.cond.Wait()
+	}
+	st.released++
+	last := st.released == c.size
+	st.mu.Unlock()
+	if last {
+		c.cluster.collDone(key)
+	}
+	return st
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func log2Ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// Barrier synchronizes all ranks; its cost is a latency tree.
+func (c *Comm) Barrier() {
+	st := c.rendezvous(nil, 0)
+	t := maxOf(st.clocks) + log2Ceil(c.size)*c.cluster.model.Alpha
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+}
+
+// Bcast distributes root's buffer to every rank (binomial tree cost).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	var mine []byte
+	if c.rank == root {
+		mine = data
+	}
+	st := c.rendezvous(mine, 0)
+	out := st.data[root]
+	m := c.cluster.model
+	n := float64(len(out))
+	t := maxOf(st.clocks) + log2Ceil(c.size)*(m.Alpha+n*m.Beta)
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	if c.rank != root {
+		c.clock.received += int64(len(out))
+	} else {
+		c.clock.sent += int64(len(out)) * int64(c.size-1)
+	}
+	return out
+}
+
+// Allgather collects each rank's buffer on every rank
+// (recursive-doubling cost).
+func (c *Comm) Allgather(data []byte) [][]byte {
+	st := c.rendezvous(data, 0)
+	out := make([][]byte, c.size)
+	total := 0
+	for i, d := range st.data {
+		out[i] = d
+		total += len(d)
+	}
+	m := c.cluster.model
+	t := maxOf(st.clocks) + log2Ceil(c.size)*m.Alpha +
+		float64(total-len(data))*m.Beta
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	c.clock.sent += int64(len(data)) * int64(c.size-1)
+	c.clock.received += int64(total - len(data))
+	return out
+}
+
+// Alltoallv sends bufs[j] to rank j and returns what every rank sent to the
+// caller. Cost: pairwise exchanges charged by per-rank volume.
+func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
+	if len(bufs) != c.size {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers on comm of size %d", len(bufs), c.size))
+	}
+	flat := flatten(bufs)
+	st := c.rendezvous(flat, 0)
+	out := make([][]byte, c.size)
+	var sent, recv int64
+	for j, d := range bufs {
+		if j != c.rank {
+			sent += int64(len(d))
+		}
+	}
+	for i := range out {
+		parts := unflatten(st.data[i], c.size)
+		out[i] = parts[c.rank]
+		if i != c.rank {
+			recv += int64(len(out[i]))
+		}
+	}
+	m := c.cluster.model
+	t := maxOf(st.clocks) + float64(c.size-1)*m.Alpha + float64(sent+recv)*m.Beta
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	c.clock.sent += sent
+	c.clock.received += recv
+	c.clock.messages += int64(c.size - 1)
+	return out
+}
+
+// AllreduceInt64 combines one int64 per rank with op ("sum", "max", "min")
+// and returns the result on every rank.
+func (c *Comm) AllreduceInt64(op string, v int64) int64 {
+	st := c.rendezvous(nil, v)
+	out := st.extra[0]
+	for _, x := range st.extra[1:] {
+		switch op {
+		case "sum":
+			out += x
+		case "max":
+			if x > out {
+				out = x
+			}
+		case "min":
+			if x < out {
+				out = x
+			}
+		default:
+			panic("mpi: unknown reduce op " + op)
+		}
+	}
+	m := c.cluster.model
+	t := maxOf(st.clocks) + 2*log2Ceil(c.size)*(m.Alpha+8*m.Beta)
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	return out
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v by rank order
+// (rank 0 receives 0), the primitive behind the distributed sequence index.
+func (c *Comm) ExscanInt64(v int64) int64 {
+	st := c.rendezvous(nil, v)
+	var sum int64
+	for r := 0; r < c.rank; r++ {
+		sum += st.extra[r]
+	}
+	m := c.cluster.model
+	t := maxOf(st.clocks) + log2Ceil(c.size)*(m.Alpha+8*m.Beta)
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	return sum
+}
+
+// Gatherv collects every rank's buffer at root (others receive nil).
+func (c *Comm) Gatherv(root int, data []byte) [][]byte {
+	st := c.rendezvous(data, 0)
+	m := c.cluster.model
+	total := 0
+	for _, d := range st.data {
+		total += len(d)
+	}
+	t := maxOf(st.clocks) + log2Ceil(c.size)*m.Alpha
+	if c.rank == root {
+		t += float64(total-len(data)) * m.Beta
+		c.clock.received += int64(total - len(data))
+	} else {
+		c.clock.sent += int64(len(data))
+	}
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	if c.rank != root {
+		return nil
+	}
+	out := make([][]byte, c.size)
+	copy(out, st.data)
+	return out
+}
+
+// Split partitions the communicator by color; ranks within each new
+// communicator are ordered by (key, old rank), as in MPI_Comm_split.
+func (c *Comm) Split(color, key int) *Comm {
+	payload := make([]byte, 24)
+	putU64(payload[0:], uint64(int64(color)))
+	putU64(payload[8:], uint64(int64(key)))
+	putU64(payload[16:], uint64(int64(c.world)))
+	st := c.rendezvous(payload, 0)
+
+	type member struct{ color, key, oldRank, world int }
+	members := make([]member, c.size)
+	for i, d := range st.data {
+		members[i] = member{
+			color:   int(int64(getU64(d[0:]))),
+			key:     int(int64(getU64(d[8:]))),
+			oldRank: i,
+			world:   int(int64(getU64(d[16:]))),
+		}
+	}
+	var group []member
+	for _, mb := range members {
+		if mb.color == color {
+			group = append(group, mb)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].oldRank < group[j].oldRank
+	})
+	newRank := -1
+	for i, mb := range group {
+		if mb.oldRank == c.rank {
+			newRank = i
+		}
+	}
+	// Assign each color group a fresh cluster-unique communicator id. The
+	// first rank to ask allocates ids for every color of this split so all
+	// group members observe the same value.
+	st.mu.Lock()
+	if st.derived == nil {
+		st.derived = make(map[int]uint64)
+		colors := map[int]bool{}
+		for _, mb := range members {
+			colors[mb.color] = true
+		}
+		sorted := make([]int, 0, len(colors))
+		for col := range colors {
+			sorted = append(sorted, col)
+		}
+		sort.Ints(sorted)
+		r := c.cluster.router
+		r.mu.Lock()
+		for _, col := range sorted {
+			c.cluster.nextCommID++
+			st.derived[col] = c.cluster.nextCommID
+		}
+		r.mu.Unlock()
+	}
+	newID := st.derived[color]
+	st.mu.Unlock()
+	return &Comm{
+		cluster: c.cluster,
+		id:      newID,
+		rank:    newRank,
+		size:    len(group),
+		world:   c.world,
+		clock:   c.clock,
+		collSeq: new(uint64),
+	}
+}
+
+func flatten(bufs [][]byte) []byte {
+	total := 8 * len(bufs)
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	var hdr [8]byte
+	for _, b := range bufs {
+		putU64(hdr[:], uint64(len(b)))
+		out = append(out, hdr[:]...)
+		out = append(out, b...)
+	}
+	return out
+}
+
+func unflatten(flat []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		l := int(getU64(flat[off:]))
+		off += 8
+		out[i] = flat[off : off+l : off+l]
+		off += l
+	}
+	return out
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

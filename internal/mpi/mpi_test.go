@@ -1,0 +1,404 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+			return nil
+		}
+		got := c.Recv(0, 7)
+		if string(got) != "hello" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvOrderingPerKey(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 0, []byte{byte(i)})
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			if got := c.Recv(0, 0); got[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Isend(1, 3, make([]byte, 1000)).Wait()
+			return nil
+		}
+		req := c.Irecv(0, 3)
+		// Overlap: do compute before waiting.
+		c.Clock().Ops(1e6)
+		data := req.Wait()
+		if len(data) != 1000 {
+			return fmt.Errorf("got %d bytes", len(data))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	cl := NewCluster(4, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		// Rank 2 does a lot of virtual work; after the barrier everyone's
+		// clock must be at least rank 2's pre-barrier time.
+		if c.Rank() == 2 {
+			c.Clock().Advance(5.0)
+		}
+		c.Barrier()
+		if c.Clock().Now() < 5.0 {
+			return fmt.Errorf("rank %d clock %f after barrier", c.Rank(), c.Clock().Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	cl := NewCluster(5, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		var data []byte
+		if c.Rank() == 3 {
+			data = []byte("payload")
+		}
+		got := c.Bcast(3, data)
+		if string(got) != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	cl := NewCluster(4, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		got := c.Allgather([]byte{byte(c.Rank() * 10)})
+		for i, d := range got {
+			if len(d) != 1 || d[0] != byte(i*10) {
+				return fmt.Errorf("rank %d slot %d = %v", c.Rank(), i, d)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const p = 4
+	cl := NewCluster(p, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		bufs := make([][]byte, p)
+		for j := range bufs {
+			// Variable-size payload identifying (src,dst).
+			bufs[j] = []byte(fmt.Sprintf("%d->%d", c.Rank(), j))
+			if j%2 == 0 {
+				bufs[j] = append(bufs[j], '!')
+			}
+		}
+		got := c.Alltoallv(bufs)
+		for i, d := range got {
+			want := fmt.Sprintf("%d->%d", i, c.Rank())
+			if c.Rank()%2 == 0 {
+				want += "!"
+			}
+			if string(d) != want {
+				return fmt.Errorf("rank %d from %d: %q != %q", c.Rank(), i, d, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceAndExscan(t *testing.T) {
+	const p = 6
+	cl := NewCluster(p, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		v := int64(c.Rank() + 1)
+		if got := c.AllreduceInt64("sum", v); got != 21 {
+			return fmt.Errorf("sum = %d", got)
+		}
+		if got := c.AllreduceInt64("max", v); got != 6 {
+			return fmt.Errorf("max = %d", got)
+		}
+		if got := c.AllreduceInt64("min", v); got != 1 {
+			return fmt.Errorf("min = %d", got)
+		}
+		want := int64(c.Rank() * (c.Rank() + 1) / 2) // sum of 1..rank
+		if got := c.ExscanInt64(v); got != want {
+			return fmt.Errorf("exscan = %d, want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherv(t *testing.T) {
+	cl := NewCluster(3, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		got := c.Gatherv(1, []byte{byte('a' + c.Rank())})
+		if c.Rank() != 1 {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		if string(got[0])+string(got[1])+string(got[2]) != "abc" {
+			return fmt.Errorf("root got %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Split into a 2D grid: row and column communicators as used by SUMMA.
+func TestSplitGrid(t *testing.T) {
+	const q = 3
+	cl := NewCluster(q*q, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		row, col := c.Rank()/q, c.Rank()%q
+		rowComm := c.Split(row, col)
+		colComm := c.Split(col, row)
+		if rowComm.Size() != q || colComm.Size() != q {
+			return fmt.Errorf("split sizes %d,%d", rowComm.Size(), colComm.Size())
+		}
+		if rowComm.Rank() != col || colComm.Rank() != row {
+			return fmt.Errorf("split ranks %d,%d want %d,%d",
+				rowComm.Rank(), colComm.Rank(), col, row)
+		}
+		// Collectives on the sub-communicators must stay within the group.
+		sum := rowComm.AllreduceInt64("sum", int64(c.Rank()))
+		wantSum := int64(row*q*q) + int64(q*(q-1)/2) // sum of row*q+0..row*q+q-1
+		if sum != wantSum {
+			return fmt.Errorf("row sum = %d, want %d", sum, wantSum)
+		}
+		// Point-to-point on sub-communicator.
+		if rowComm.Rank() == 0 {
+			rowComm.Send(1, 9, []byte{byte(row)})
+		} else if rowComm.Rank() == 1 {
+			if got := rowComm.Recv(0, 9); got[0] != byte(row) {
+				return fmt.Errorf("row p2p got %d", got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeDeterminism(t *testing.T) {
+	run := func() float64 {
+		cl := NewCluster(4, DefaultCostModel())
+		err := cl.Run(func(c *Comm) error {
+			c.Clock().Ops(float64(c.Rank()+1) * 1e7)
+			c.Allgather(make([]byte, 100*(c.Rank()+1)))
+			if c.Rank() == 0 {
+				c.Send(3, 0, make([]byte, 12345))
+			}
+			if c.Rank() == 3 {
+				c.Recv(0, 0)
+			}
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.MaxTime()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Errorf("virtual time not deterministic: %g vs %g", t1, t2)
+	}
+	if t1 <= 0 {
+		t.Error("virtual time should be positive")
+	}
+}
+
+func TestMessageArrivalDelaysReceiver(t *testing.T) {
+	model := DefaultCostModel()
+	cl := NewCluster(2, model)
+	var recvClock float64
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Clock().Advance(1.0) // busy sender
+			c.Send(1, 0, make([]byte, 8))
+		} else {
+			c.Recv(0, 0)
+			recvClock = c.Clock().Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvClock < 1.0 {
+		t.Errorf("receiver clock %f should be delayed past sender's 1.0", recvClock)
+	}
+}
+
+func TestSections(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		c.Clock().Section("compute", func() {
+			c.Clock().Ops(2e9) // 1 second at default rate
+		})
+		c.Clock().Section("idle", func() {})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := cl.SectionMax()
+	if secs["compute"] < 0.99 || secs["compute"] > 1.01 {
+		t.Errorf("compute section = %f, want ~1.0", secs["compute"])
+	}
+	if secs["idle"] != 0 {
+		t.Errorf("idle section = %f, want 0", secs["idle"])
+	}
+	mean := cl.SectionMean()
+	if mean["compute"] < 0.99 {
+		t.Errorf("mean compute = %f", mean["compute"])
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	cl := NewCluster(3, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestCommunicationCounters(t *testing.T) {
+	cl := NewCluster(2, DefaultCostModel())
+	var sent, recvd int64
+	err := cl.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 512))
+			atomic.StoreInt64(&sent, c.Clock().BytesSent())
+		} else {
+			c.Recv(0, 0)
+			atomic.StoreInt64(&recvd, c.Clock().BytesReceived())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 512 || recvd != 512 {
+		t.Errorf("counters sent=%d recvd=%d, want 512/512", sent, recvd)
+	}
+	if cl.TotalBytes() != 512 {
+		t.Errorf("TotalBytes = %d", cl.TotalBytes())
+	}
+}
+
+// Collective cost should grow with communicator size: the same broadcast on
+// 64 virtual ranks must cost more virtual time than on 4.
+func TestCollectiveCostScalesWithP(t *testing.T) {
+	timeFor := func(p int) float64 {
+		cl := NewCluster(p, DefaultCostModel())
+		if err := cl.Run(func(c *Comm) error {
+			c.Bcast(0, make([]byte, 1<<20))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cl.MaxTime()
+	}
+	if t4, t64 := timeFor(4), timeFor(64); t64 <= t4 {
+		t.Errorf("bcast on 64 ranks (%g) should cost more than on 4 (%g)", t64, t4)
+	}
+}
+
+func TestNestedSplitIDsDistinct(t *testing.T) {
+	// Two successive splits with identical colors must not cross-deliver.
+	cl := NewCluster(4, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		a := c.Split(c.Rank()%2, c.Rank())
+		b := c.Split(c.Rank()%2, c.Rank())
+		if a.Rank() == 0 {
+			a.Send(1, 0, []byte("A"))
+		}
+		if b.Rank() == 0 {
+			b.Send(1, 0, []byte("B"))
+		}
+		if a.Rank() == 1 {
+			if got := a.Recv(0, 0); string(got) != "A" {
+				return fmt.Errorf("comm a received %q", got)
+			}
+		}
+		if b.Rank() == 1 {
+			if got := b.Recv(0, 0); string(got) != "B" {
+				return fmt.Errorf("comm b received %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

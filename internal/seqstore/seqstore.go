@@ -1,0 +1,271 @@
+// Package seqstore implements the fully-distributed sequence dictionary of
+// the paper (Section V-C): sequences are initially owned in a byte-balanced
+// 1D partition by rank; each grid process then needs the sequences covering
+// its 2D block's row range and column range of the similarity matrix — up to
+// 2n/√p sequences — which it prefetches from the owning ranks with
+// nonblocking sends/receives issued immediately after the FASTA read, so the
+// transfer overlaps matrix formation and multiplication. A Waitall after B
+// is computed accounts for whatever transfer time was not hidden (the
+// paper's "wait" component).
+package seqstore
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/dmat"
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// Sequence is one protein sequence with its global index.
+type Sequence struct {
+	Global spmat.Index
+	Name   string
+	Codes  []alphabet.Code
+}
+
+// Store holds this rank's owned partition plus, after Wait, the sequences
+// covering its grid row and column ranges.
+type Store struct {
+	Grid  *dmat.Grid
+	Total spmat.Index // global sequence count
+
+	OwnedStart spmat.Index // global index of first owned sequence
+	Owned      []Sequence
+
+	// Row/Col ranges this rank's block needs (global, half-open), fixed by
+	// the 2D decomposition of the n×n similarity matrix.
+	RowLo, RowHi spmat.Index
+	ColLo, ColHi spmat.Index
+
+	rowSeqs []Sequence // filled by Wait; indexed by global - RowLo
+	colSeqs []Sequence
+
+	pendingRecv []*mpi.Request
+	recvMeta    []recvRange
+	waited      bool
+}
+
+type recvRange struct {
+	isRow  bool
+	lo, hi spmat.Index // global range carried by this message
+}
+
+const (
+	tagRow = 1001
+	tagCol = 1002
+)
+
+// ownership lists every rank's owned global range, derived collectively.
+type ownership struct {
+	start []spmat.Index // start[r] = first global index owned by rank r
+	total spmat.Index
+}
+
+func (o ownership) rangeOf(rank int) (lo, hi spmat.Index) {
+	lo = o.start[rank]
+	if rank+1 < len(o.start) {
+		return lo, o.start[rank+1]
+	}
+	return lo, o.total
+}
+
+// Exchange assigns global indices to the locally-parsed records, computes
+// which ranks need which of them, and launches the nonblocking exchange.
+// It returns immediately; call Wait before reading row/col sequences.
+// Collective over the grid.
+func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
+	comm := g.Comm
+	clock := comm.Clock()
+
+	// Global indexing via prefix sum of owned counts (paper Section V-A:
+	// "a parallel prefix sum of sequence counts").
+	myCount := int64(len(recs))
+	myStart := comm.ExscanInt64(myCount)
+	total := comm.AllreduceInt64("sum", myCount)
+	if total == 0 {
+		return nil, fmt.Errorf("seqstore: empty dataset")
+	}
+
+	// Everyone learns all owned ranges (counts are 8 bytes per rank).
+	counts := comm.Allgather(encodeI64(myCount))
+	own := ownership{start: make([]spmat.Index, comm.Size()), total: spmat.Index(total)}
+	var acc int64
+	for r, buf := range counts {
+		own.start[r] = spmat.Index(acc)
+		acc += decodeI64(buf)
+	}
+
+	st := &Store{
+		Grid:       g,
+		Total:      spmat.Index(total),
+		OwnedStart: spmat.Index(myStart),
+	}
+	st.Owned = make([]Sequence, len(recs))
+	for i, rec := range recs {
+		codes, err := alphabet.EncodeSeq(alphabet.Clean(rec.Seq))
+		if err != nil {
+			return nil, fmt.Errorf("seqstore: %s: %w", rec.ID, err)
+		}
+		st.Owned[i] = Sequence{Global: st.OwnedStart + spmat.Index(i), Name: rec.ID, Codes: codes}
+	}
+	clock.Ops(float64(fasta.TotalSeqBytes(recs)) * 2)
+
+	st.RowLo, st.RowHi = dmat.BlockRange(st.Total, g.Q, g.MyRow)
+	st.ColLo, st.ColHi = dmat.BlockRange(st.Total, g.Q, g.MyCol)
+	st.rowSeqs = make([]Sequence, st.RowHi-st.RowLo)
+	st.colSeqs = make([]Sequence, st.ColHi-st.ColLo)
+
+	// Sends: for every rank d, ship the overlap of my owned range with d's
+	// row and column needs. Both sides compute the same intersections from
+	// the shared ownership table, so no request round-trip is needed.
+	myLo, myHi := own.rangeOf(comm.Rank())
+	for d := 0; d < comm.Size(); d++ {
+		dRow, dCol := d/g.Q, d%g.Q
+		rLo, rHi := dmat.BlockRange(st.Total, g.Q, dRow)
+		cLo, cHi := dmat.BlockRange(st.Total, g.Q, dCol)
+		if lo, hi := intersect(myLo, myHi, rLo, rHi); lo < hi {
+			comm.Isend(d, tagRow, st.encodeRange(lo, hi))
+		}
+		if lo, hi := intersect(myLo, myHi, cLo, cHi); lo < hi {
+			comm.Isend(d, tagCol, st.encodeRange(lo, hi))
+		}
+	}
+	// Receives: one message per owner rank overlapping my needed ranges.
+	for s := 0; s < comm.Size(); s++ {
+		sLo, sHi := own.rangeOf(s)
+		if lo, hi := intersect(sLo, sHi, st.RowLo, st.RowHi); lo < hi {
+			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, tagRow))
+			st.recvMeta = append(st.recvMeta, recvRange{isRow: true, lo: lo, hi: hi})
+		}
+		if lo, hi := intersect(sLo, sHi, st.ColLo, st.ColHi); lo < hi {
+			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, tagCol))
+			st.recvMeta = append(st.recvMeta, recvRange{isRow: false, lo: lo, hi: hi})
+		}
+	}
+	return st, nil
+}
+
+// Wait completes the exchange (the paper's MPI_Waitall after computing B)
+// and indexes the received sequences. Idempotent.
+func (st *Store) Wait() error {
+	if st.waited {
+		return nil
+	}
+	st.waited = true
+	for i, req := range st.pendingRecv {
+		meta := st.recvMeta[i]
+		seqs, err := decodeSeqs(req.Wait())
+		if err != nil {
+			return err
+		}
+		if len(seqs) != int(meta.hi-meta.lo) {
+			return fmt.Errorf("seqstore: expected %d sequences in [%d,%d), got %d",
+				meta.hi-meta.lo, meta.lo, meta.hi, len(seqs))
+		}
+		for _, s := range seqs {
+			if meta.isRow {
+				st.rowSeqs[s.Global-st.RowLo] = s
+			} else {
+				st.colSeqs[s.Global-st.ColLo] = s
+			}
+		}
+	}
+	st.pendingRecv, st.recvMeta = nil, nil
+	return nil
+}
+
+// RowSeq returns the sequence with global index g from the block-row cache.
+func (st *Store) RowSeq(g spmat.Index) (Sequence, error) {
+	if !st.waited {
+		return Sequence{}, fmt.Errorf("seqstore: RowSeq before Wait")
+	}
+	if g < st.RowLo || g >= st.RowHi {
+		return Sequence{}, fmt.Errorf("seqstore: row %d outside [%d,%d)", g, st.RowLo, st.RowHi)
+	}
+	return st.rowSeqs[g-st.RowLo], nil
+}
+
+// ColSeq returns the sequence with global index g from the block-column cache.
+func (st *Store) ColSeq(g spmat.Index) (Sequence, error) {
+	if !st.waited {
+		return Sequence{}, fmt.Errorf("seqstore: ColSeq before Wait")
+	}
+	if g < st.ColLo || g >= st.ColHi {
+		return Sequence{}, fmt.Errorf("seqstore: col %d outside [%d,%d)", g, st.ColLo, st.ColHi)
+	}
+	return st.colSeqs[g-st.ColLo], nil
+}
+
+func intersect(aLo, aHi, bLo, bHi spmat.Index) (spmat.Index, spmat.Index) {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	return lo, hi
+}
+
+// encodeRange serializes owned sequences with global indices in [lo,hi).
+func (st *Store) encodeRange(lo, hi spmat.Index) []byte {
+	var buf []byte
+	buf = appendU64(buf, uint64(hi-lo))
+	for g := lo; g < hi; g++ {
+		s := st.Owned[g-st.OwnedStart]
+		buf = appendU64(buf, uint64(s.Global))
+		buf = appendU64(buf, uint64(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = appendU64(buf, uint64(len(s.Codes)))
+		for _, c := range s.Codes {
+			buf = append(buf, byte(c))
+		}
+	}
+	return buf
+}
+
+func decodeSeqs(buf []byte) ([]Sequence, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("seqstore: truncated message")
+	}
+	n := int(getU64(buf))
+	buf = buf[8:]
+	out := make([]Sequence, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 16 {
+			return nil, fmt.Errorf("seqstore: truncated sequence header")
+		}
+		g := spmat.Index(getU64(buf))
+		nameLen := int(getU64(buf[8:]))
+		buf = buf[16:]
+		name := string(buf[:nameLen])
+		buf = buf[nameLen:]
+		seqLen := int(getU64(buf))
+		buf = buf[8:]
+		codes := make([]alphabet.Code, seqLen)
+		for j := 0; j < seqLen; j++ {
+			codes[j] = alphabet.Code(buf[j])
+		}
+		buf = buf[seqLen:]
+		out = append(out, Sequence{Global: g, Name: name, Codes: codes})
+	}
+	return out, nil
+}
+
+func encodeI64(v int64) []byte { return appendU64(nil, uint64(v)) }
+
+func decodeI64(b []byte) int64 { return int64(getU64(b)) }
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

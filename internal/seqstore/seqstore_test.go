@@ -1,0 +1,218 @@
+package seqstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/dmat"
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/spmat"
+)
+
+// makeRecords builds n tiny distinct records.
+func makeRecords(n int) []fasta.Record {
+	letters := "ARNDCQEGHILKMFPSTWYV"
+	recs := make([]fasta.Record, n)
+	for i := range recs {
+		l := 5 + i%7
+		seq := make([]byte, l)
+		for j := range seq {
+			seq[j] = letters[(i+j)%20]
+		}
+		recs[i] = fasta.Record{ID: fmt.Sprintf("s%03d", i), Seq: seq}
+	}
+	return recs
+}
+
+// split deals records into p consecutive runs like the byte-balanced FASTA
+// partition does (consecutive ownership is required by the store).
+func split(recs []fasta.Record, rank, p int) []fasta.Record {
+	n := len(recs)
+	lo, hi := n*rank/p, n*(rank+1)/p
+	return recs[lo:hi]
+}
+
+func TestExchangeProvidesRowAndColRanges(t *testing.T) {
+	const n = 57
+	recs := makeRecords(n)
+	for _, p := range []int{1, 4, 9} {
+		cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+		err := cl.Run(func(c *mpi.Comm) error {
+			g, err := dmat.NewGrid(c)
+			if err != nil {
+				return err
+			}
+			st, err := Exchange(g, split(recs, c.Rank(), p))
+			if err != nil {
+				return err
+			}
+			if st.Total != n {
+				return fmt.Errorf("total = %d, want %d", st.Total, n)
+			}
+			if err := st.Wait(); err != nil {
+				return err
+			}
+			// Every sequence in my row/col range must be present and correct.
+			for gIdx := st.RowLo; gIdx < st.RowHi; gIdx++ {
+				s, err := st.RowSeq(gIdx)
+				if err != nil {
+					return err
+				}
+				if s.Name != recs[gIdx].ID {
+					return fmt.Errorf("p=%d row seq %d = %q, want %q", p, gIdx, s.Name, recs[gIdx].ID)
+				}
+				if string(alphabet.DecodeSeq(s.Codes)) != string(recs[gIdx].Seq) {
+					return fmt.Errorf("p=%d row seq %d content mismatch", p, gIdx)
+				}
+			}
+			for gIdx := st.ColLo; gIdx < st.ColHi; gIdx++ {
+				s, err := st.ColSeq(gIdx)
+				if err != nil {
+					return err
+				}
+				if s.Name != recs[gIdx].ID {
+					return fmt.Errorf("p=%d col seq %d = %q, want %q", p, gIdx, s.Name, recs[gIdx].ID)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAccessBeforeWaitFails(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		st, err := Exchange(g, makeRecords(5))
+		if err != nil {
+			return err
+		}
+		if _, err := st.RowSeq(0); err == nil {
+			return fmt.Errorf("RowSeq before Wait should fail")
+		}
+		return st.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	cl := mpi.NewCluster(4, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		st, err := Exchange(g, split(makeRecords(20), c.Rank(), 4))
+		if err != nil {
+			return err
+		}
+		if err := st.Wait(); err != nil {
+			return err
+		}
+		if _, err := st.RowSeq(st.RowHi); err == nil {
+			return fmt.Errorf("out-of-range row access should fail")
+		}
+		if _, err := st.ColSeq(spmat.Index(-1)); err == nil {
+			return fmt.Errorf("negative col access should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDatasetFails(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		_, err = Exchange(g, nil)
+		if err == nil {
+			return fmt.Errorf("empty dataset should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequences containing characters outside the alphabet are cleaned to X
+// rather than rejected.
+func TestDirtySequencesCleaned(t *testing.T) {
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		st, err := Exchange(g, []fasta.Record{{ID: "dirty", Seq: []byte("AR?DC")}})
+		if err != nil {
+			return err
+		}
+		if err := st.Wait(); err != nil {
+			return err
+		}
+		s, err := st.RowSeq(0)
+		if err != nil {
+			return err
+		}
+		if string(alphabet.DecodeSeq(s.Codes)) != "ARXDC" {
+			return fmt.Errorf("cleaned seq = %q", alphabet.DecodeSeq(s.Codes))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Uneven ownership (some ranks own nothing) must still satisfy all ranges.
+func TestSkewedOwnership(t *testing.T) {
+	recs := makeRecords(10)
+	cl := mpi.NewCluster(4, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := dmat.NewGrid(c)
+		if err != nil {
+			return err
+		}
+		// Rank 0 owns everything.
+		var mine []fasta.Record
+		if c.Rank() == 0 {
+			mine = recs
+		}
+		st, err := Exchange(g, mine)
+		if err != nil {
+			return err
+		}
+		if err := st.Wait(); err != nil {
+			return err
+		}
+		for gIdx := st.RowLo; gIdx < st.RowHi; gIdx++ {
+			s, err := st.RowSeq(gIdx)
+			if err != nil {
+				return err
+			}
+			if s.Name != recs[gIdx].ID {
+				return fmt.Errorf("row seq %d = %q", gIdx, s.Name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

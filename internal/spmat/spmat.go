@@ -1,0 +1,389 @@
+// Package spmat provides local (per-process) sparse matrices generic over
+// the nonzero type, supporting the semiring algebra PASTIS builds on.
+//
+// The primary storage format is DCSC — doubly compressed sparse column
+// (Buluç & Gilbert 2008, paper Section IV-D) — which stores column pointers
+// only for nonempty columns. This matters because the k-mer dimension of
+// PASTIS matrices is |Σ|^k (191M for k=6): a conventional CSC column-pointer
+// array would dwarf the nonzeros once the matrix is 2D-distributed and each
+// process holds a hypersparse block with far fewer nonzeros than columns.
+//
+// SpGEMM comes in the two local-kernel flavors CombBLAS mixes: a hash-based
+// accumulator and a heap-based k-way merge. Both are exact over arbitrary
+// semirings; the benchmark suite compares them (ablation in DESIGN.md).
+package spmat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is the row/column index type. The k-mer dimension exceeds int32.
+type Index = int64
+
+// Triple is one nonzero element.
+type Triple[T any] struct {
+	Row, Col Index
+	Val      T
+}
+
+// Semiring defines the two overloaded operators of a sparse matrix algebra
+// (paper Section II-A). Multiply combines a left and right nonzero into an
+// output contribution; Add accumulates contributions for the same output
+// position.
+type Semiring[A, B, C any] struct {
+	Multiply func(a A, b B) C
+	Add      func(x, y C) C
+}
+
+// Arithmetic is the ordinary (+, *) semiring over float64.
+var Arithmetic = Semiring[float64, float64, float64]{
+	Multiply: func(a, b float64) float64 { return a * b },
+	Add:      func(x, y float64) float64 { return x + y },
+}
+
+// Counting maps every multiplication to 1 and adds: B = A·Aᵀ under Counting
+// counts shared k-mers (the exact-match overlap detector of BELLA/PASTIS
+// before positions are tracked).
+func Counting[A, B any]() Semiring[A, B, int64] {
+	return Semiring[A, B, int64]{
+		Multiply: func(A, B) int64 { return 1 },
+		Add:      func(x, y int64) int64 { return x + y },
+	}
+}
+
+// DCSC is a doubly compressed sparse column matrix.
+// JC lists the nonempty column ids in increasing order; column JC[c] holds
+// rows IR[CP[c]:CP[c+1]] (increasing) with values Vals[CP[c]:CP[c+1]].
+type DCSC[T any] struct {
+	NumRows, NumCols Index
+	JC               []Index
+	CP               []int
+	IR               []Index
+	Vals             []T
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *DCSC[T]) NNZ() int { return len(m.IR) }
+
+// NonemptyCols returns the count of columns holding at least one nonzero.
+func (m *DCSC[T]) NonemptyCols() int { return len(m.JC) }
+
+// FromTriples builds a DCSC from an unordered triple list, accumulating
+// duplicates with add (add == nil panics on duplicates, which turns silent
+// data corruption into a loud bug during development).
+func FromTriples[T any](rows, cols Index, ts []Triple[T], add func(T, T) T) (*DCSC[T], error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("spmat: triple (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triple[T], len(ts))
+	copy(sorted, ts)
+	// Stable sort: duplicates accumulate in input order, so results are
+	// deterministic even for non-commutative-looking adds (e.g. seed lists).
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Col != sorted[j].Col {
+			return sorted[i].Col < sorted[j].Col
+		}
+		return sorted[i].Row < sorted[j].Row
+	})
+	m := &DCSC[T]{NumRows: rows, NumCols: cols}
+	for _, t := range sorted {
+		n := len(m.IR)
+		if n > 0 && m.JC[len(m.JC)-1] == t.Col && m.IR[n-1] == t.Row {
+			if add == nil {
+				panic(fmt.Sprintf("spmat: duplicate entry (%d,%d) with nil add", t.Row, t.Col))
+			}
+			m.Vals[n-1] = add(m.Vals[n-1], t.Val)
+			continue
+		}
+		if len(m.JC) == 0 || m.JC[len(m.JC)-1] != t.Col {
+			m.JC = append(m.JC, t.Col)
+			m.CP = append(m.CP, n)
+		}
+		m.IR = append(m.IR, t.Row)
+		m.Vals = append(m.Vals, t.Val)
+	}
+	m.CP = append(m.CP, len(m.IR))
+	return m, nil
+}
+
+// Empty returns a DCSC with no nonzeros.
+func Empty[T any](rows, cols Index) *DCSC[T] {
+	return &DCSC[T]{NumRows: rows, NumCols: cols, CP: []int{0}}
+}
+
+// ToTriples lists the nonzeros in column-major order.
+func (m *DCSC[T]) ToTriples() []Triple[T] {
+	out := make([]Triple[T], 0, m.NNZ())
+	for c, col := range m.JC {
+		for k := m.CP[c]; k < m.CP[c+1]; k++ {
+			out = append(out, Triple[T]{Row: m.IR[k], Col: col, Val: m.Vals[k]})
+		}
+	}
+	return out
+}
+
+// ColRange returns the half-open value range of column id, or (0,0,false)
+// if the column is empty. Lookup is a binary search over JC.
+func (m *DCSC[T]) ColRange(col Index) (lo, hi int, ok bool) {
+	c := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= col })
+	if c == len(m.JC) || m.JC[c] != col {
+		return 0, 0, false
+	}
+	return m.CP[c], m.CP[c+1], true
+}
+
+// At returns the value at (row, col) if stored.
+func (m *DCSC[T]) At(row, col Index) (T, bool) {
+	var zero T
+	lo, hi, ok := m.ColRange(col)
+	if !ok {
+		return zero, false
+	}
+	i := lo + sort.Search(hi-lo, func(k int) bool { return m.IR[lo+k] >= row })
+	if i < hi && m.IR[i] == row {
+		return m.Vals[i], true
+	}
+	return zero, false
+}
+
+// Transpose returns the transposed matrix.
+func (m *DCSC[T]) Transpose() *DCSC[T] {
+	ts := make([]Triple[T], 0, m.NNZ())
+	for c, col := range m.JC {
+		for k := m.CP[c]; k < m.CP[c+1]; k++ {
+			ts = append(ts, Triple[T]{Row: col, Col: m.IR[k], Val: m.Vals[k]})
+		}
+	}
+	out, err := FromTriples(m.NumCols, m.NumRows, ts, nil)
+	if err != nil {
+		panic(err) // transposing valid indices cannot go out of range
+	}
+	return out
+}
+
+// Prune returns a copy keeping only nonzeros for which keep returns true.
+func (m *DCSC[T]) Prune(keep func(row, col Index, v T) bool) *DCSC[T] {
+	out := &DCSC[T]{NumRows: m.NumRows, NumCols: m.NumCols}
+	for c, col := range m.JC {
+		start := len(out.IR)
+		for k := m.CP[c]; k < m.CP[c+1]; k++ {
+			if keep(m.IR[k], col, m.Vals[k]) {
+				out.IR = append(out.IR, m.IR[k])
+				out.Vals = append(out.Vals, m.Vals[k])
+			}
+		}
+		if len(out.IR) > start {
+			out.JC = append(out.JC, col)
+			out.CP = append(out.CP, start)
+		}
+	}
+	out.CP = append(out.CP, len(out.IR))
+	return out
+}
+
+// Apply returns a copy with f applied to every stored value.
+func Apply[T, U any](m *DCSC[T], f func(row, col Index, v T) U) *DCSC[U] {
+	out := &DCSC[U]{
+		NumRows: m.NumRows, NumCols: m.NumCols,
+		JC: append([]Index(nil), m.JC...),
+		CP: append([]int(nil), m.CP...),
+		IR: append([]Index(nil), m.IR...),
+	}
+	out.Vals = make([]U, len(m.Vals))
+	for c, col := range m.JC {
+		for k := m.CP[c]; k < m.CP[c+1]; k++ {
+			out.Vals[k] = f(m.IR[k], col, m.Vals[k])
+		}
+	}
+	return out
+}
+
+// EWiseAdd merges two equally-shaped matrices, combining coincident
+// nonzeros with add. It is the kernel of the distributed symmetrization
+// B + Bᵀ (paper Section VI-A "symmetricize").
+func EWiseAdd[T any](a, b *DCSC[T], add func(T, T) T) (*DCSC[T], error) {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols {
+		return nil, fmt.Errorf("spmat: EWiseAdd shape mismatch %dx%d vs %dx%d",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols)
+	}
+	ts := append(a.ToTriples(), b.ToTriples()...)
+	return FromTriples(a.NumRows, a.NumCols, ts, add)
+}
+
+// Stats reports the work performed by an SpGEMM call, used to charge the
+// virtual clock: Flops counts semiring multiplications (the standard
+// SpGEMM work measure; additions are bounded by it).
+type Stats struct {
+	Flops int64
+}
+
+// SpGEMMHash computes A·B over sr with a per-column hash accumulator.
+func SpGEMMHash[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
+	if a.NumCols != b.NumRows {
+		return nil, Stats{}, fmt.Errorf("spmat: SpGEMM inner dim %d vs %d", a.NumCols, b.NumRows)
+	}
+	// Map from column id to A's compressed column slot for O(1) access per
+	// multiply; amortized over all of B's columns.
+	aCol := make(map[Index]int, len(a.JC))
+	for c, col := range a.JC {
+		aCol[col] = c
+	}
+	out := &DCSC[C]{NumRows: a.NumRows, NumCols: b.NumCols}
+	var stats Stats
+	acc := make(map[Index]C)
+	var rows []Index
+	for cb, j := range b.JC {
+		clear(acc)
+		rows = rows[:0]
+		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
+			k := b.IR[kb]
+			ca, ok := aCol[k]
+			if !ok {
+				continue
+			}
+			bv := b.Vals[kb]
+			for ka := a.CP[ca]; ka < a.CP[ca+1]; ka++ {
+				i := a.IR[ka]
+				contrib := sr.Multiply(a.Vals[ka], bv)
+				stats.Flops++
+				if old, seen := acc[i]; seen {
+					acc[i] = sr.Add(old, contrib)
+				} else {
+					acc[i] = contrib
+					rows = append(rows, i)
+				}
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Slice(rows, func(x, y int) bool { return rows[x] < rows[y] })
+		out.JC = append(out.JC, j)
+		out.CP = append(out.CP, len(out.IR))
+		for _, i := range rows {
+			out.IR = append(out.IR, i)
+			out.Vals = append(out.Vals, acc[i])
+		}
+	}
+	out.CP = append(out.CP, len(out.IR))
+	return out, stats, nil
+}
+
+// SpGEMMHeap computes A·B over sr by k-way merging A's (row-sorted) columns
+// with a binary heap, producing each output column in row order without a
+// hash table. Faster than hashing for very sparse accumulations (the
+// "compression ratio" near 1 regime); slower when rows repeat often.
+func SpGEMMHeap[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
+	if a.NumCols != b.NumRows {
+		return nil, Stats{}, fmt.Errorf("spmat: SpGEMM inner dim %d vs %d", a.NumCols, b.NumRows)
+	}
+	aCol := make(map[Index]int, len(a.JC))
+	for c, col := range a.JC {
+		aCol[col] = c
+	}
+	out := &DCSC[C]{NumRows: a.NumRows, NumCols: b.NumCols}
+	var stats Stats
+
+	// stream is one (A column, B scalar) product being merged.
+	type stream struct {
+		pos, end int
+		bval     B
+	}
+	for cb, j := range b.JC {
+		var streams []stream
+		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
+			if ca, ok := aCol[b.IR[kb]]; ok {
+				streams = append(streams, stream{pos: a.CP[ca], end: a.CP[ca+1], bval: b.Vals[kb]})
+			}
+		}
+		if len(streams) == 0 {
+			continue
+		}
+		// Binary heap of stream indices ordered by current row.
+		heap := make([]int, 0, len(streams))
+		less := func(x, y int) bool { return a.IR[streams[x].pos] < a.IR[streams[y].pos] }
+		push := func(s int) {
+			heap = append(heap, s)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !less(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+		}
+		pop := func() int {
+			top := heap[0]
+			last := len(heap) - 1
+			heap[0] = heap[last]
+			heap = heap[:last]
+			for i := 0; ; {
+				l, r := 2*i+1, 2*i+2
+				small := i
+				if l < len(heap) && less(heap[l], heap[small]) {
+					small = l
+				}
+				if r < len(heap) && less(heap[r], heap[small]) {
+					small = r
+				}
+				if small == i {
+					break
+				}
+				heap[i], heap[small] = heap[small], heap[i]
+				i = small
+			}
+			return top
+		}
+		for s := range streams {
+			push(s)
+		}
+		colStart := len(out.IR)
+		for len(heap) > 0 {
+			s := pop()
+			st := &streams[s]
+			row := a.IR[st.pos]
+			contrib := sr.Multiply(a.Vals[st.pos], st.bval)
+			stats.Flops++
+			if n := len(out.IR); n > colStart && out.IR[n-1] == row {
+				out.Vals[n-1] = sr.Add(out.Vals[n-1], contrib)
+			} else {
+				out.IR = append(out.IR, row)
+				out.Vals = append(out.Vals, contrib)
+			}
+			st.pos++
+			if st.pos < st.end {
+				push(s)
+			}
+		}
+		if len(out.IR) > colStart {
+			out.JC = append(out.JC, j)
+			out.CP = append(out.CP, colStart)
+		}
+	}
+	out.CP = append(out.CP, len(out.IR))
+	return out, stats, nil
+}
+
+// Equal reports whether two matrices have identical structure and values
+// (values compared with eq).
+func Equal[T any](a, b *DCSC[T], eq func(T, T) bool) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() ||
+		len(a.JC) != len(b.JC) {
+		return false
+	}
+	for i := range a.JC {
+		if a.JC[i] != b.JC[i] || a.CP[i] != b.CP[i] {
+			return false
+		}
+	}
+	for i := range a.IR {
+		if a.IR[i] != b.IR[i] || !eq(a.Vals[i], b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,384 @@
+package spmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromTriples[T any](t testing.TB, rows, cols Index, ts []Triple[T], add func(T, T) T) *DCSC[T] {
+	t.Helper()
+	m, err := FromTriples(rows, cols, ts, add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randomTriples(rng *rand.Rand, rows, cols Index, nnz int) []Triple[float64] {
+	seen := map[[2]Index]bool{}
+	var ts []Triple[float64]
+	for len(ts) < nnz {
+		r, c := Index(rng.Int63n(int64(rows))), Index(rng.Int63n(int64(cols)))
+		if seen[[2]Index{r, c}] {
+			continue
+		}
+		seen[[2]Index{r, c}] = true
+		ts = append(ts, Triple[float64]{Row: r, Col: c, Val: float64(rng.Intn(9) + 1)})
+	}
+	return ts
+}
+
+func toDense(m *DCSC[float64]) [][]float64 {
+	d := make([][]float64, m.NumRows)
+	for i := range d {
+		d[i] = make([]float64, m.NumCols)
+	}
+	for _, t := range m.ToTriples() {
+		d[t.Row][t.Col] = t.Val
+	}
+	return d
+}
+
+func denseMul(a, b [][]float64) [][]float64 {
+	n, k, mcols := len(a), len(b), len(b[0])
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, mcols)
+		for kk := 0; kk < k; kk++ {
+			if a[i][kk] == 0 {
+				continue
+			}
+			for j := 0; j < mcols; j++ {
+				c[i][j] += a[i][kk] * b[kk][j]
+			}
+		}
+	}
+	return c
+}
+
+func TestFromTriplesBasic(t *testing.T) {
+	ts := []Triple[float64]{{2, 1, 3.0}, {0, 0, 1.0}, {1, 1, 2.0}}
+	m := mustFromTriples(t, 3, 2, ts, nil)
+	if m.NNZ() != 3 || m.NonemptyCols() != 2 {
+		t.Fatalf("nnz=%d cols=%d", m.NNZ(), m.NonemptyCols())
+	}
+	if v, ok := m.At(2, 1); !ok || v != 3.0 {
+		t.Errorf("At(2,1) = %v,%v", v, ok)
+	}
+	if v, ok := m.At(0, 0); !ok || v != 1.0 {
+		t.Errorf("At(0,0) = %v,%v", v, ok)
+	}
+	if _, ok := m.At(0, 1); ok {
+		t.Error("At(0,1) should be empty")
+	}
+}
+
+func TestFromTriplesAccumulates(t *testing.T) {
+	ts := []Triple[float64]{{0, 0, 1}, {0, 0, 2}, {0, 0, 4}}
+	m := mustFromTriples(t, 1, 1, ts, func(a, b float64) float64 { return a + b })
+	if v, _ := m.At(0, 0); v != 7 {
+		t.Errorf("accumulated = %v, want 7", v)
+	}
+}
+
+func TestFromTriplesDuplicatePanicsWithNilAdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	_, _ = FromTriples(1, 1, []Triple[float64]{{0, 0, 1}, {0, 0, 2}}, nil)
+}
+
+func TestFromTriplesOutOfRange(t *testing.T) {
+	if _, err := FromTriples(2, 2, []Triple[float64]{{2, 0, 1}}, nil); err == nil {
+		t.Error("row out of range should error")
+	}
+	if _, err := FromTriples(2, 2, []Triple[float64]{{0, -1, 1}}, nil); err == nil {
+		t.Error("negative col should error")
+	}
+}
+
+func TestRoundTripTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := randomTriples(rng, 20, 30, 80)
+	m := mustFromTriples(t, 20, 30, ts, nil)
+	back := m.ToTriples()
+	if len(back) != len(ts) {
+		t.Fatalf("round trip lost nonzeros: %d vs %d", len(back), len(ts))
+	}
+	m2 := mustFromTriples(t, 20, 30, back, nil)
+	if !Equal(m, m2, func(a, b float64) bool { return a == b }) {
+		t.Error("round trip produced different matrix")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := mustFromTriples(t, 15, 40, randomTriples(rng, 15, 40, 100), nil)
+	tt := m.Transpose().Transpose()
+	if !Equal(m, tt, func(a, b float64) bool { return a == b }) {
+		t.Error("transpose is not an involution")
+	}
+	tr := m.Transpose()
+	if tr.NumRows != 40 || tr.NumCols != 15 {
+		t.Errorf("transpose dims %dx%d", tr.NumRows, tr.NumCols)
+	}
+	for _, trip := range m.ToTriples() {
+		if v, ok := tr.At(trip.Col, trip.Row); !ok || v != trip.Val {
+			t.Errorf("transpose missing (%d,%d)", trip.Col, trip.Row)
+		}
+	}
+}
+
+func TestHypersparseStorage(t *testing.T) {
+	// A matrix with 2^40 columns but 3 nonzeros must store only 3 column ids:
+	// this is the whole point of DCSC (paper Section IV-D).
+	huge := Index(1) << 40
+	ts := []Triple[int64]{{0, huge - 1, 1}, {5, 12345, 2}, {9, 0, 3}}
+	m := mustFromTriples(t, 10, huge, ts, nil)
+	if m.NonemptyCols() != 3 || len(m.CP) != 4 {
+		t.Errorf("DCSC stores %d col entries for 3 nonzeros", m.NonemptyCols())
+	}
+	if v, ok := m.At(0, huge-1); !ok || v != 1 {
+		t.Error("lookup in huge column space failed")
+	}
+}
+
+func TestSpGEMMAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n, k, m := Index(rng.Intn(12)+1), Index(rng.Intn(12)+1), Index(rng.Intn(12)+1)
+		a := mustFromTriples(t, n, k, randomTriples(rng, n, k, rng.Intn(int(n*k))), nil)
+		b := mustFromTriples(t, k, m, randomTriples(rng, k, m, rng.Intn(int(k*m))), nil)
+		want := denseMul(toDense(a), toDense(b))
+
+		for name, mul := range map[string]func() (*DCSC[float64], Stats, error){
+			"hash": func() (*DCSC[float64], Stats, error) { return SpGEMMHash(a, b, Arithmetic) },
+			"heap": func() (*DCSC[float64], Stats, error) { return SpGEMMHeap(a, b, Arithmetic) },
+		} {
+			c, _, err := mul()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got := toDense(c)
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("trial %d %s: C[%d][%d] = %v, want %v",
+							trial, name, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: hash- and heap-based SpGEMM agree exactly, structure included.
+func TestHashHeapAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := Index(r.Intn(20)+1), Index(r.Intn(20)+1), Index(r.Intn(20)+1)
+		a := mustFromTriples(t, n, k, randomTriples(r, n, k, r.Intn(int(n*k)+1)), nil)
+		b := mustFromTriples(t, k, m, randomTriples(r, k, m, r.Intn(int(k*m)+1)), nil)
+		c1, s1, err1 := SpGEMMHash(a, b, Arithmetic)
+		c2, s2, err2 := SpGEMMHeap(a, b, Arithmetic)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s1.Flops == s2.Flops && Equal(c1, c2, func(x, y float64) bool { return x == y })
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpGEMMDimensionMismatch(t *testing.T) {
+	a := Empty[float64](3, 4)
+	b := Empty[float64](5, 2)
+	if _, _, err := SpGEMMHash(a, b, Arithmetic); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, _, err := SpGEMMHeap(a, b, Arithmetic); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+// AAᵀ under the counting semiring yields shared-column counts: the overlap
+// matrix of the paper with Bij = number of common k-mers.
+func TestCountingSemiringOverlap(t *testing.T) {
+	// Rows: sequences; cols: k-mers. Seq0 has kmers {0,1,2}, seq1 {1,2}, seq2 {5}.
+	ts := []Triple[int32]{
+		{0, 0, 1}, {0, 1, 1}, {0, 2, 1},
+		{1, 1, 1}, {1, 2, 1},
+		{2, 5, 1},
+	}
+	a := mustFromTriples(t, 3, 6, ts, nil)
+	b, _, err := SpGEMMHash(a, a.Transpose(), Counting[int32, int32]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		i, j Index
+		want int64
+	}{{0, 0, 3}, {0, 1, 2}, {1, 0, 2}, {1, 1, 2}, {2, 2, 1}}
+	for _, c := range checks {
+		if v, ok := b.At(c.i, c.j); !ok || v != c.want {
+			t.Errorf("B[%d][%d] = %v,%v want %d", c.i, c.j, v, ok, c.want)
+		}
+	}
+	if _, ok := b.At(0, 2); ok {
+		t.Error("B[0][2] should be structurally zero (no shared k-mers)")
+	}
+	// Symmetry of AAᵀ.
+	for _, trip := range b.ToTriples() {
+		if v, ok := b.At(trip.Col, trip.Row); !ok || v != trip.Val {
+			t.Errorf("AAᵀ not symmetric at (%d,%d)", trip.Row, trip.Col)
+		}
+	}
+}
+
+// A custom min-plus (tropical) semiring exercises non-arithmetic Add.
+func TestTropicalSemiring(t *testing.T) {
+	tropical := Semiring[float64, float64, float64]{
+		Multiply: func(a, b float64) float64 { return a + b },
+		Add: func(x, y float64) float64 {
+			if x < y {
+				return x
+			}
+			return y
+		},
+	}
+	// Path weights: A is 2x2 adjacency, A^2 gives shortest 2-hop paths.
+	a := mustFromTriples(t, 2, 2, []Triple[float64]{
+		{0, 0, 1}, {0, 1, 5}, {1, 0, 2}, {1, 1, 1},
+	}, nil)
+	c, _, err := SpGEMMHash(a, a, tropical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c[0][0] = min(1+1, 5+2) = 2
+	if v, _ := c.At(0, 0); v != 2 {
+		t.Errorf("tropical c[0][0] = %v, want 2", v)
+	}
+	// c[0][1] = min(1+5, 5+1) = 6
+	if v, _ := c.At(0, 1); v != 6 {
+		t.Errorf("tropical c[0][1] = %v, want 6", v)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := mustFromTriples(t, 10, 10, randomTriples(rng, 10, 10, 40), nil)
+	p := m.Prune(func(r, c Index, v float64) bool { return v > 4 })
+	for _, trip := range p.ToTriples() {
+		if trip.Val <= 4 {
+			t.Errorf("prune kept %v", trip.Val)
+		}
+	}
+	total := 0
+	for _, trip := range m.ToTriples() {
+		if trip.Val > 4 {
+			total++
+		}
+	}
+	if p.NNZ() != total {
+		t.Errorf("prune kept %d, want %d", p.NNZ(), total)
+	}
+	// Pruned matrix has no empty columns materialized.
+	for c := range p.JC {
+		if p.CP[c+1] == p.CP[c] {
+			t.Error("prune left an empty column slot")
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := mustFromTriples(t, 2, 2, []Triple[float64]{{0, 0, 2}, {1, 1, 3}}, nil)
+	sq := Apply(m, func(r, c Index, v float64) int64 { return int64(v * v) })
+	if v, _ := sq.At(0, 0); v != 4 {
+		t.Errorf("Apply = %v", v)
+	}
+	if v, _ := sq.At(1, 1); v != 9 {
+		t.Errorf("Apply = %v", v)
+	}
+}
+
+func TestEWiseAdd(t *testing.T) {
+	a := mustFromTriples(t, 2, 2, []Triple[float64]{{0, 0, 1}, {0, 1, 2}}, nil)
+	b := mustFromTriples(t, 2, 2, []Triple[float64]{{0, 0, 10}, {1, 0, 3}}, nil)
+	c, err := EWiseAdd(a, b, func(x, y float64) float64 { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.At(0, 0); v != 11 {
+		t.Errorf("EWiseAdd merge = %v", v)
+	}
+	if v, _ := c.At(0, 1); v != 2 {
+		t.Errorf("EWiseAdd left-only = %v", v)
+	}
+	if v, _ := c.At(1, 0); v != 3 {
+		t.Errorf("EWiseAdd right-only = %v", v)
+	}
+	if c.NNZ() != 3 {
+		t.Errorf("EWiseAdd nnz = %d", c.NNZ())
+	}
+	if _, err := EWiseAdd(a, Empty[float64](3, 3), nil); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+// EWiseAdd of a matrix and its transpose symmetrizes structure.
+func TestSymmetrizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Index(r.Intn(15) + 1)
+		m := mustFromTriples(t, n, n, randomTriples(r, n, n, r.Intn(int(n*n)+1)), nil)
+		sym, err := EWiseAdd(m, m.Transpose(), func(x, y float64) float64 { return x + y })
+		if err != nil {
+			return false
+		}
+		for _, trip := range sym.ToTriples() {
+			v, ok := sym.At(trip.Col, trip.Row)
+			if !ok || v != trip.Val {
+				return false
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func benchMatrices(n, k, m Index, nnz int) (*DCSC[float64], *DCSC[float64]) {
+	rng := rand.New(rand.NewSource(8))
+	a, _ := FromTriples(n, k, randomTriples(rng, n, k, nnz), nil)
+	b, _ := FromTriples(k, m, randomTriples(rng, k, m, nnz), nil)
+	return a, b
+}
+
+func BenchmarkSpGEMMHash(b *testing.B) {
+	x, y := benchMatrices(500, 500, 500, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SpGEMMHash(x, y, Arithmetic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpGEMMHeap(b *testing.B) {
+	x, y := benchMatrices(500, 500, 500, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SpGEMMHeap(x, y, Arithmetic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

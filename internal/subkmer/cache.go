@@ -1,0 +1,50 @@
+package subkmer
+
+import (
+	"sync"
+
+	"repro/internal/kmer"
+	"repro/internal/scoring"
+)
+
+// The m-nearest neighbor lists of a k-mer are nested: because the ordering
+// by (distance, id) is total, Find(m') for m' < m is exactly the m'-prefix
+// of Find(m). FindCached exploits this to share one computation across the
+// many simulated ranks and parameter sweeps that ask for the same k-mer.
+
+type cacheKey struct {
+	id     kmer.ID
+	k      int
+	matrix string
+}
+
+var cache sync.Map // cacheKey -> []Neighbor
+
+// FindCached is Find with a process-wide memo. The returned slice is shared:
+// callers must not modify it. The virtual-time cost of the search is charged
+// by callers regardless of cache hits, so simulated timings are unaffected.
+func FindCached(root kmer.ID, k int, e *scoring.Expense, m int) ([]Neighbor, error) {
+	key := cacheKey{id: root, k: k, matrix: e.Matrix.Name}
+	if v, ok := cache.Load(key); ok {
+		nbrs := v.([]Neighbor)
+		if len(nbrs) >= m {
+			return nbrs[:m], nil
+		}
+		// Cached list was computed for a smaller m; fall through and widen.
+	}
+	nbrs, err := Find(root, k, e, m)
+	if err != nil {
+		return nil, err
+	}
+	cache.Store(key, nbrs)
+	return nbrs, nil
+}
+
+// ClearCache drops all memoized neighbor lists (bounds memory between
+// experiment sweeps).
+func ClearCache() {
+	cache.Range(func(k, v any) bool {
+		cache.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,246 @@
+// Package subkmer computes the m nearest substitute k-mers of a k-mer under
+// a substitution matrix — the paper's Algorithms 1-3 (Section IV-B).
+//
+// The distance of a substitute k-mer q from the root r is the total score
+// expense sum_i (C[r_i][r_i] - C[r_i][q_i]) over substituted positions: the
+// score lost relative to an exact match. Because BLOSUM-style matrices have
+// non-uniform scores, the m nearest neighbors are not necessarily
+// single-substitution k-mers (the paper's AAC example: TTC at distance 8
+// beats every AA* single substitution).
+//
+// The search explores an implicit tree: every node generates children by
+// substituting one of its "free" positions; a child created by substituting
+// position i keeps only positions > i free, so every multi-substitution
+// k-mer is produced exactly once along its position-sorted path (the paper's
+// acyclic, branching-factor-(|Σ|-1) exploration). A min-max heap of the
+// current m best candidates provides O(1) access to both the next node to
+// finalize (min) and the pruning bound (max).
+package subkmer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alphabet"
+	"repro/internal/kmer"
+	"repro/internal/mmheap"
+	"repro/internal/scoring"
+)
+
+// Neighbor is one substitute k-mer with its distance from the root.
+type Neighbor struct {
+	ID   kmer.ID
+	Dist int
+}
+
+// candidate is a heap entry: a generated substitute k-mer plus the bitmask
+// of positions still free for further substitution (bit i = position i from
+// the left is free). Only positions to the right of the last substituted one
+// stay free, which makes the generation a tree.
+type candidate struct {
+	id   kmer.ID
+	dist int
+	free uint16
+}
+
+// frontier is one lazily-advanced substitution stream in Explore's min-heap:
+// "substitute position pos of node to its sid-th cheapest replacement".
+type frontier struct {
+	cost int // dist(node) + expense of this substitution
+	pos  int8
+	sid  int16
+}
+
+func candLess(a, b candidate) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// Find returns the m nearest substitute k-mers of root (a k-mer of length k)
+// under the expense table e, sorted by (distance, id). The root itself is
+// not included. Fewer than m neighbors are returned only when the candidate
+// space is smaller than m.
+//
+// This is Algorithm 1 (FINDSUBKMERS) with Algorithms 2-3 inlined as
+// explore/makeNewSubK.
+func Find(root kmer.ID, k int, e *scoring.Expense, m int) ([]Neighbor, error) {
+	if k <= 0 || k > kmer.MaxK {
+		return nil, fmt.Errorf("subkmer: k=%d out of range [1,%d]", k, kmer.MaxK)
+	}
+	if k > 16 {
+		return nil, fmt.Errorf("subkmer: k=%d exceeds free-mask capacity", k)
+	}
+	if m <= 0 {
+		return nil, nil
+	}
+	rootBases := kmer.Decode(root, k)
+
+	s := &search{
+		k:         k,
+		m:         m,
+		e:         e,
+		rootBases: rootBases,
+		heap:      mmheap.New(candLess),
+	}
+	allFree := uint16(1)<<uint(k) - 1
+	s.explore(candidate{id: root, dist: 0, free: allFree})
+
+	nbrs := make([]Neighbor, 0, m)
+	for len(nbrs) < m && s.heap.Len() > 0 {
+		mink := s.heap.Min()
+		nbrs = append(nbrs, Neighbor{ID: mink.id, Dist: mink.dist})
+		s.heap.ExtractMin()
+		s.explore(mink)
+	}
+	return nbrs, nil
+}
+
+type search struct {
+	k         int
+	m         int
+	e         *scoring.Expense
+	rootBases []alphabet.Code
+	heap      *mmheap.Heap[candidate]
+}
+
+// explore generates the children of node p in increasing cost and offers
+// them to the m-nearest heap (Algorithm 2, EXPLORE). It stops as soon as the
+// next cheapest child cannot beat the current m-th nearest candidate.
+func (s *search) explore(p candidate) {
+	var fr []frontier
+	for pos := 0; pos < s.k; pos++ {
+		if p.free&(1<<uint(pos)) == 0 {
+			continue
+		}
+		row := s.e.Rows[s.rootBases[pos]]
+		if len(row) == 0 {
+			continue
+		}
+		fr = append(fr, frontier{cost: p.dist + row[0].Expense, pos: int8(pos), sid: 0})
+	}
+	if len(fr) == 0 {
+		return
+	}
+	min := mmheap.New(func(a, b frontier) bool { return a.cost < b.cost })
+	for _, f := range fr {
+		min.Push(f)
+	}
+	for min.Len() > 0 {
+		next := min.Min()
+		if s.heap.Len() >= s.m {
+			// Prune: accept only children that can still displace the
+			// current worst candidate; <= admits equal-distance children so
+			// ties resolve deterministically by ID at push time.
+			if max := s.heap.Max(); next.cost > max.dist {
+				return
+			}
+		}
+		s.makeNewSubK(p, min)
+	}
+}
+
+// makeNewSubK materializes the cheapest frontier substitution, offers it to
+// the m-nearest heap, and advances that frontier stream (Algorithm 3).
+func (s *search) makeNewSubK(p candidate, min *mmheap.Heap[frontier]) {
+	f := min.ExtractMin()
+	pos := int(f.pos)
+	row := s.e.Rows[s.rootBases[pos]]
+	sub := row[f.sid]
+
+	child := candidate{
+		id:   kmer.SetBase(p.id, s.k, pos, sub.Base),
+		dist: f.cost,
+		// Keep only positions strictly right of pos free: canonical
+		// position-sorted generation, one path per substitute k-mer.
+		free: p.free &^ (uint16(1)<<uint(pos+1) - 1),
+	}
+	s.offer(child)
+
+	if int(f.sid)+1 < len(row) {
+		f.sid++
+		f.cost = p.dist + row[f.sid].Expense
+		min.Push(f)
+	}
+}
+
+// offer admits a child into the bounded m-nearest heap, evicting the current
+// worst when full. The position-sorted tree generates every substitute k-mer
+// exactly once, so no duplicate check is needed.
+func (s *search) offer(c candidate) {
+	if s.heap.Len() < s.m {
+		s.heap.Push(c)
+		return
+	}
+	if max := s.heap.Max(); candLess(c, max) {
+		s.heap.ExtractMax()
+		s.heap.Push(c)
+	}
+}
+
+// FindNaive is a brute-force reference: it enumerates every k-mer whose
+// differing positions hold standard amino acids, computes distances
+// directly, and returns the m nearest by (distance, id). Exponential in k;
+// for tests and ablation benchmarks only.
+func FindNaive(root kmer.ID, k int, e *scoring.Expense, m int) ([]Neighbor, error) {
+	if k <= 0 || k > kmer.MaxK {
+		return nil, fmt.Errorf("subkmer: k=%d out of range [1,%d]", k, kmer.MaxK)
+	}
+	if m <= 0 {
+		return nil, nil
+	}
+	rootBases := kmer.Decode(root, k)
+	var all []Neighbor
+	var rec func(pos int, id kmer.ID, dist int, changed bool)
+	rec = func(pos int, id kmer.ID, dist int, changed bool) {
+		if pos == k {
+			if changed {
+				all = append(all, Neighbor{ID: id, Dist: dist})
+			}
+			return
+		}
+		// Keep the root base.
+		rec(pos+1, id, dist, changed)
+		// Or substitute it with any standard amino acid.
+		for _, sub := range e.Rows[rootBases[pos]] {
+			rec(pos+1, kmer.SetBase(id, k, pos, sub.Base), dist+sub.Expense, true)
+		}
+	}
+	rec(0, root, 0, false)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > m {
+		all = all[:m]
+	}
+	return all, nil
+}
+
+// Dist recomputes the substitution distance between a root k-mer and a
+// substitute under the expense table (for verification).
+func Dist(root, sub kmer.ID, k int, e *scoring.Expense) (int, error) {
+	rb, sb := kmer.Decode(root, k), kmer.Decode(sub, k)
+	total := 0
+	for i := 0; i < k; i++ {
+		if rb[i] == sb[i] {
+			continue
+		}
+		found := false
+		for _, s := range e.Rows[rb[i]] {
+			if s.Base == sb[i] {
+				total += s.Expense
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("subkmer: %c->%c is not a legal substitution",
+				alphabet.Decode(rb[i]), alphabet.Decode(sb[i]))
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/kmer"
+	"repro/internal/scoring"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultScopeLike(10, 7)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].ID != b.Records[i].ID || string(a.Records[i].Seq) != string(b.Records[i].Seq) {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	out, err := Generate(DefaultScopeLike(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumFam != 20 {
+		t.Errorf("NumFam = %d", out.NumFam)
+	}
+	if len(out.Records) != len(out.Families) {
+		t.Fatalf("labels out of sync: %d vs %d", len(out.Records), len(out.Families))
+	}
+	famSizes := map[int]int{}
+	for _, f := range out.Families {
+		famSizes[f]++
+	}
+	for fam := 0; fam < 20; fam++ {
+		if famSizes[fam] < 2 {
+			t.Errorf("family %d has %d members, want >= 2", fam, famSizes[fam])
+		}
+	}
+	for i, r := range out.Records {
+		if len(r.Seq) == 0 {
+			t.Errorf("record %d empty", i)
+		}
+		if _, err := alphabet.EncodeSeq(r.Seq); err != nil {
+			t.Errorf("record %d not encodable: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []Config{
+		{NumFamilies: -1, MinLen: 10, MaxLen: 20},
+		{NumFamilies: 1, MinLen: 0, MaxLen: 20},
+		{NumFamilies: 1, MinLen: 30, MaxLen: 20},
+		{NumFamilies: 1, MinLen: 10, MaxLen: 20, Divergence: 0.95},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+// Family members must share k-mers far more often than unrelated sequences:
+// this is the property the whole overlap-detection pipeline rests on.
+func TestFamilySharesKmers(t *testing.T) {
+	out, err := Generate(Config{
+		Seed: 5, NumFamilies: 8, MembersMean: 6, Singletons: 10,
+		MinLen: 100, MaxLen: 300, Divergence: 0.25, IndelRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmersOf := make([]map[kmer.ID]bool, len(out.Records))
+	for i, r := range out.Records {
+		kms, err := kmer.Extract(r.Seq, 6, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[kmer.ID]bool, len(kms))
+		for _, km := range kms {
+			set[km.ID] = true
+		}
+		kmersOf[i] = set
+	}
+	share := func(i, j int) int {
+		n := 0
+		for id := range kmersOf[i] {
+			if kmersOf[j][id] {
+				n++
+			}
+		}
+		return n
+	}
+	sameFamShared, sameFamPairs := 0, 0
+	diffFamShared, diffFamPairs := 0, 0
+	for i := 0; i < len(out.Records); i++ {
+		for j := i + 1; j < len(out.Records); j++ {
+			s := share(i, j)
+			if out.Families[i] >= 0 && out.Families[i] == out.Families[j] {
+				sameFamShared += s
+				sameFamPairs++
+			} else {
+				diffFamShared += s
+				diffFamPairs++
+			}
+		}
+	}
+	if sameFamPairs == 0 || diffFamPairs == 0 {
+		t.Fatal("degenerate dataset")
+	}
+	sameAvg := float64(sameFamShared) / float64(sameFamPairs)
+	diffAvg := float64(diffFamShared) / float64(diffFamPairs)
+	if sameAvg < 1 {
+		t.Errorf("family members share too few 6-mers on average: %.2f", sameAvg)
+	}
+	if sameAvg < 10*diffAvg+1 {
+		t.Errorf("family signal too weak: same=%.3f diff=%.3f", sameAvg, diffAvg)
+	}
+}
+
+func TestSubstituterPrefersConservative(t *testing.T) {
+	s := newSubstituter(scoring.BLOSUM62)
+	rng := rand.New(rand.NewSource(2))
+	// Substituting I should land on V/L/M (high BLOSUM62) far more often
+	// than on G/P (very negative).
+	counts := map[byte]int{}
+	for i := 0; i < 20000; i++ {
+		counts[s.substitute(rng, 'I')]++
+	}
+	conservative := counts['V'] + counts['L'] + counts['M']
+	hostile := counts['G'] + counts['P']
+	if conservative < 10*hostile {
+		t.Errorf("substitution model not BLOSUM-shaped: conservative=%d hostile=%d",
+			conservative, hostile)
+	}
+	if counts['I'] != 0 {
+		t.Error("self substitution should never be drawn")
+	}
+}
+
+func TestMetaclustLikeSize(t *testing.T) {
+	cfg := DefaultMetaclustLike(500, 3)
+	out, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Family sizes are random (geometric), so allow slack around the target.
+	if len(out.Records) < 350 || len(out.Records) > 900 {
+		t.Errorf("dataset size %d too far from requested 500", len(out.Records))
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	total := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		total += geometric(rng, 8)
+	}
+	mean := float64(total) / float64(n)
+	if mean < 7 || mean > 9 {
+		t.Errorf("geometric mean = %.2f, want ~8", mean)
+	}
+}

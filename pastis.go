@@ -1,0 +1,269 @@
+// Package pastis is a Go reproduction of PASTIS — "Distributed Many-to-Many
+// Protein Sequence Alignment using Sparse Matrices" (Selvitopi et al.,
+// SC 2020): distributed protein similarity search formulated as sparse
+// matrix algebra.
+//
+// The library builds a protein similarity graph (PSG) from a set of protein
+// sequences: sequences are decomposed into k-mers forming the sparse matrix
+// A; candidate pairs are the nonzeros of B = A·Aᵀ (exact k-mer matching) or
+// (A·S)·Aᵀ where S maps each k-mer to its m nearest substitute k-mers under
+// BLOSUM62; candidates are verified with Smith-Waterman or x-drop
+// seed-extension alignment and filtered by identity and coverage.
+//
+// Because Go has no MPI, the distributed runtime is simulated: ranks are
+// goroutines exchanging messages through the internal mpi substrate, and a
+// deterministic LogGP-style virtual clock — driven by the real operation and
+// byte counts of the distributed algorithm — provides the scaling behavior
+// the paper measures on up to 2025 Cray XC40 nodes. Results are bit-exact
+// across process counts (the paper's reproducibility property).
+//
+// Quick start:
+//
+//	data, _ := pastis.GenerateScopeLike(50, 1)
+//	cfg := pastis.DefaultConfig()
+//	res, _ := pastis.BuildGraph(data.Records, 16, cfg)
+//	for _, e := range res.Edges { fmt.Println(e.R, e.C, e.Weight) }
+package pastis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/fasta"
+	"repro/internal/last"
+	"repro/internal/mcl"
+	"repro/internal/metrics"
+	"repro/internal/mmseqs"
+	"repro/internal/mpi"
+	"repro/internal/synth"
+)
+
+// Re-exported pipeline types; see the internal/core documentation for the
+// full semantics.
+type (
+	// Config parameterizes a pipeline run (k-mer length, substitute k-mers,
+	// alignment and weighting modes, filters).
+	Config = core.Config
+	// Edge is one similarity-graph edge with its alignment statistics.
+	Edge = core.Edge
+	// Stats carries pipeline counters (nonzeros, alignments, edges).
+	Stats = core.Stats
+	// AlignMode selects Smith-Waterman or x-drop seed extension.
+	AlignMode = core.AlignMode
+	// WeightMode selects ANI or normalized-score edge weights.
+	WeightMode = core.WeightMode
+	// Record is one FASTA record.
+	Record = fasta.Record
+	// Dataset couples records with ground-truth family labels.
+	Dataset = synth.Labeled
+	// CostModel holds the virtual-time machine constants.
+	CostModel = mpi.CostModel
+)
+
+// Alignment and weighting mode constants.
+const (
+	AlignXDrop = core.AlignXDrop
+	AlignSW    = core.AlignSW
+	AlignNone  = core.AlignNone
+	WeightANI  = core.WeightANI
+	WeightNS   = core.WeightNS
+)
+
+// DefaultConfig mirrors the paper's main configuration: k=6, BLOSUM62 with
+// gap open 11/extend 1, x-drop 49, ANI >= 30%, coverage >= 70%.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultCostModel returns the virtual-time constants used by the
+// reproduction (Cori-class latency/bandwidth/compute rates).
+func DefaultCostModel() CostModel { return mpi.DefaultCostModel() }
+
+// Result is the outcome of a BuildGraph run.
+type Result struct {
+	Edges []Edge  // the full similarity graph (R < C, each pair once)
+	Stats Stats   // global pipeline counters
+	Nodes int     // simulated node (rank) count
+	Time  float64 // virtual makespan in seconds
+	// Sections is the per-component virtual time (max over ranks), keyed by
+	// the paper's component names: "fasta", "form A", "tr. A", "form S",
+	// "AS", "(AS)AT", "sym.", "wait", "align".
+	Sections map[string]float64
+	// BytesOnWire is the total communication volume across ranks.
+	BytesOnWire int64
+}
+
+// BuildGraph runs the full PASTIS pipeline on a simulated cluster of the
+// given node count (must be a perfect square, the paper's p = q² grid
+// requirement) and returns the gathered similarity graph. The input records
+// are partitioned across ranks with the paper's byte-balanced FASTA
+// chunking. Deterministic: the same inputs produce the same graph and the
+// same virtual times for any node count.
+func BuildGraph(records []Record, nodes int, cfg Config) (*Result, error) {
+	return BuildGraphWithModel(records, nodes, cfg, mpi.DefaultCostModel())
+}
+
+// BuildGraphWithModel is BuildGraph with custom virtual-time constants.
+func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostModel) (*Result, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("pastis: empty input")
+	}
+	// Render to FASTA bytes and chunk exactly as the parallel reader would,
+	// so rank ownership follows the paper's byte-balanced partition.
+	data := fasta.Bytes(records, 0)
+	chunks := fasta.SplitBytes(int64(len(data)), nodes)
+
+	out := &Result{Nodes: nodes}
+	cl := mpi.NewCluster(nodes, model)
+	err := cl.Run(func(c *mpi.Comm) error {
+		chunk := chunks[c.Rank()]
+		owned, err := fasta.ParseChunk(data, chunk.Begin, chunk.End)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(c, owned, cfg)
+		if err != nil {
+			return err
+		}
+		edges := core.GatherEdges(c, res.Edges)
+		if c.Rank() == 0 {
+			out.Edges = edges
+			out.Stats = res.Stats
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortEdges(out.Edges)
+	out.Time = cl.MaxTime()
+	out.Sections = cl.SectionMax()
+	out.BytesOnWire = cl.TotalBytes()
+	return out, nil
+}
+
+// MMseqs2Config configures the MMseqs2-like baseline.
+type MMseqs2Config = mmseqs.Config
+
+// DefaultMMseqs2Config mirrors the paper's MMseqs2 defaults.
+func DefaultMMseqs2Config() MMseqs2Config { return mmseqs.DefaultConfig() }
+
+// BaselineResult is the outcome of a baseline run.
+type BaselineResult struct {
+	Edges []Edge
+	Nodes int
+	Time  float64
+}
+
+// RunMMseqs2Like runs the MMseqs2-style baseline on a simulated cluster of
+// the given node count (any positive count; no grid requirement).
+func RunMMseqs2Like(records []Record, nodes int, cfg MMseqs2Config) (*BaselineResult, error) {
+	out := &BaselineResult{Nodes: nodes}
+	cl := mpi.NewCluster(nodes, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		edges, _, err := mmseqs.Run(c, records, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out.Edges = edges
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortEdges(out.Edges)
+	out.Time = cl.MaxTime()
+	return out, nil
+}
+
+// LASTConfig configures the LAST-like baseline.
+type LASTConfig = last.Config
+
+// DefaultLASTConfig mirrors the paper's LAST settings.
+func DefaultLASTConfig() LASTConfig { return last.DefaultConfig() }
+
+// RunLASTLike runs the LAST-style baseline. Single node by construction
+// (the paper's LAST comparator is shared-memory only); the reported time
+// models one node doing all the work.
+func RunLASTLike(records []Record, cfg LASTConfig) (*BaselineResult, error) {
+	out := &BaselineResult{Nodes: 1}
+	cl := mpi.NewCluster(1, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		edges, stats, err := last.Run(records, cfg)
+		if err != nil {
+			return err
+		}
+		// Charge the serial work to the single rank's clock.
+		c.Clock().Ops(float64(stats.Suffixes)*40 + float64(stats.Seeds)*25 +
+			float64(stats.Candidates)*8 + float64(stats.Aligned)*4000)
+		out.Edges = edges
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortEdges(out.Edges)
+	out.Time = cl.MaxTime()
+	return out, nil
+}
+
+// ClusterMCL groups the n-node similarity graph into protein families with
+// Markov Clustering (the paper's HipMCL step).
+func ClusterMCL(n int, edges []Edge) ([][]int, error) {
+	in := make([]mcl.Edge, len(edges))
+	for i, e := range edges {
+		in[i] = mcl.Edge{R: int64(e.R), C: int64(e.C), Weight: e.Weight}
+	}
+	return mcl.Cluster(n, in, mcl.DefaultConfig())
+}
+
+// ConnectedComponents groups the n-node similarity graph into its connected
+// components (the paper's Table II alternative to clustering).
+func ConnectedComponents(n int, edges []Edge) [][]int {
+	rows := make([]int64, len(edges))
+	cols := make([]int64, len(edges))
+	for i, e := range edges {
+		rows[i], cols[i] = int64(e.R), int64(e.C)
+	}
+	return cc.FromEdges(n, rows, cols)
+}
+
+// PrecisionRecall scores predicted clusters against ground-truth families
+// with the paper's weighted measures (Section VI-B).
+func PrecisionRecall(clusters [][]int, families []int) (precision, recall float64) {
+	return metrics.PrecisionRecall(clusters, families)
+}
+
+// GenerateScopeLike builds a deterministic synthetic dataset with the
+// structure of the SCOPe family benchmark (ground-truth families for
+// precision/recall experiments).
+func GenerateScopeLike(families int, seed int64) (*Dataset, error) {
+	return synth.Generate(synth.DefaultScopeLike(families, seed))
+}
+
+// GenerateMetaclustLike builds a deterministic synthetic dataset with the
+// structure of a Metaclust50 subset (for performance experiments).
+func GenerateMetaclustLike(sequences int, seed int64) (*Dataset, error) {
+	return synth.Generate(synth.DefaultMetaclustLike(sequences, seed))
+}
+
+// ReadFASTA parses all records from r.
+func ReadFASTA(r io.Reader) ([]Record, error) { return fasta.Parse(r) }
+
+// WriteFASTA writes records to w with the given sequence line width
+// (width <= 0 writes single-line sequences).
+func WriteFASTA(w io.Writer, recs []Record, width int) error {
+	return fasta.Write(w, recs, width)
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].R != edges[j].R {
+			return edges[i].R < edges[j].R
+		}
+		return edges[i].C < edges[j].C
+	})
+}

@@ -11,9 +11,12 @@ package pastis
 // align: SW vs x-drop).
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/spmat"
 )
 
 // benchScale keeps each experiment benchmark in the seconds range.
@@ -95,6 +98,79 @@ func BenchmarkClaims(b *testing.B) { runExperiment(b, "claims") }
 // exchange, substitute-k-mer search algorithm, and the Fig. 11 alignment
 // assignment vs the naive idle-processes strawman.
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+
+// benchThreadCounts parameterizes the hybrid-parallelism benchmarks; the
+// BENCH_*.json trajectory tracks wall-clock speedup across these on
+// multi-core hosts and virtual-clock speedup everywhere.
+var benchThreadCounts = []int{1, 2, 4, 8}
+
+// BenchmarkSpGEMMParallel measures the chunked parallel local SpGEMM kernel
+// directly (wall time) across thread counts, for both kernels. Output is
+// bit-identical across all variants; only the speed may differ.
+func BenchmarkSpGEMMParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const n, nnz = 600, 12000
+	ts := make([]spmat.Triple[float64], 0, nnz)
+	seen := map[[2]spmat.Index]bool{}
+	for len(ts) < nnz {
+		r, c := spmat.Index(rng.Intn(n)), spmat.Index(rng.Intn(n))
+		if seen[[2]spmat.Index{r, c}] {
+			continue
+		}
+		seen[[2]spmat.Index{r, c}] = true
+		ts = append(ts, spmat.Triple[float64]{Row: r, Col: c, Val: float64(rng.Intn(9) + 1)})
+	}
+	x, err := spmat.FromTriples(n, n, ts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, heap := range []bool{false, true} {
+		kernel := "hash"
+		if heap {
+			kernel = "heap"
+		}
+		for _, threads := range benchThreadCounts {
+			b.Run(fmt.Sprintf("%s/t%d", kernel, threads), func(b *testing.B) {
+				var flops int64
+				for i := 0; i < b.N; i++ {
+					_, stats, err := spmat.SpGEMM(x, x, spmat.Arithmetic,
+						spmat.SpGEMMOpts{UseHeap: heap, Threads: threads})
+					if err != nil {
+						b.Fatal(err)
+					}
+					flops = stats.Flops
+				}
+				b.ReportMetric(float64(flops), "flops")
+			})
+		}
+	}
+}
+
+// BenchmarkAlignBatch measures the batched streaming aligner through the
+// public pipeline across thread counts, reporting the virtual time of the
+// align stage (which credits up to CoresPerNode-way thread speedup) next to
+// the wall time of the simulation.
+func BenchmarkAlignBatch(b *testing.B) {
+	data, err := GenerateMetaclustLike(150, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range benchThreadCounts {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Align = AlignSW // heaviest aligner: the batching target
+			cfg.Threads = threads
+			for i := 0; i < b.N; i++ {
+				res, err := BuildGraph(data.Records, 4, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Sections["align"]*1e6, "virtual_align_us")
+				b.ReportMetric(res.Time*1e6, "virtual_total_us")
+			}
+		})
+	}
+}
 
 // BenchmarkBuildGraphEndToEnd measures the whole public-API path on a
 // small dataset (wall time of the simulation itself, not virtual time).

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pastis -in proteins.fa -out graph.tsv -nodes 16 -subs 25 -align xd
+//	pastis -in proteins.fa -out graph.tsv -nodes 16 -subs 25 -align xd -threads 8
 //
 // The output is a tab-separated edge list: the names of the two sequences,
 // the edge weight, identity, coverage, normalized score and raw score.
@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 		minID   = flag.Float64("min-identity", 0.30, "ANI filter: minimum identity")
 		minCov  = flag.Float64("min-coverage", 0.70, "ANI filter: minimum shorter-sequence coverage")
 		xdrop   = flag.Int("xdrop", 49, "x-drop value for seed extension")
+		threads = flag.Int("threads", 1, "intra-rank threads for SpGEMM and alignment (0 = all host cores)")
+		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
 		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
 	)
 	flag.Parse()
@@ -57,6 +60,8 @@ func main() {
 	cfg.MinIdentity = *minID
 	cfg.MinCoverage = *minCov
 	cfg.XDropValue = *xdrop
+	cfg.Threads = parallel.Resolve(*threads)
+	cfg.BatchSize = *batch
 	switch *alignFl {
 	case "xd":
 		cfg.Align = pastis.AlignXDrop

@@ -90,9 +90,51 @@ const (
 	fExtends = 1 << 3
 )
 
+// Aligner owns reusable DP buffers for the alignment kernels. The batched
+// aligner of the pipeline keeps one Aligner per worker so a batch of pairs
+// runs without per-pair allocations; buffers grow to the largest problem
+// seen and are reset (never reallocated) between calls. An Aligner is NOT
+// safe for concurrent use; results are identical to the package-level
+// functions, which simply run on a fresh Aligner.
+type Aligner struct {
+	// Smith-Waterman rolling score rows and packed direction matrix.
+	prevH, curH []int32
+	prevE, curE []int32
+	prevF, curF []int32
+	dirs        []byte
+	// X-drop extension rows and seed-reversal scratch.
+	prevCells, curCells []cell
+	revA, revB          []alphabet.Code
+}
+
+// NewAligner returns an empty Aligner; buffers grow on first use.
+func NewAligner() *Aligner { return &Aligner{} }
+
+// grow returns s resized to n without reallocating when capacity allows.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reverseInto writes the reversal of s into dst (grown as needed).
+func reverseInto(dst, s []alphabet.Code) []alphabet.Code {
+	dst = grow(dst, len(s))
+	for i, c := range s {
+		dst[len(s)-1-i] = c
+	}
+	return dst
+}
+
 // SmithWaterman computes the optimal local alignment between code sequences
 // a and b with affine gaps, including traceback statistics.
 func SmithWaterman(a, b []alphabet.Code, sc Scoring) Result {
+	return NewAligner().SmithWaterman(a, b, sc)
+}
+
+// SmithWaterman is the buffer-reusing form of the package-level function.
+func (al *Aligner) SmithWaterman(a, b []alphabet.Code, sc Scoring) Result {
 	la, lb := len(a), len(b)
 	if la == 0 || lb == 0 {
 		return Result{}
@@ -101,16 +143,23 @@ func SmithWaterman(a, b []alphabet.Code, sc Scoring) Result {
 	extCost := int32(sc.GapExtend)
 
 	// Rolling score rows; full packed direction matrix for the traceback.
+	// Every cell read by the loops or the traceback is written first this
+	// call, so only the row-0 prev buffers need explicit initialization.
 	width := lb + 1
-	prevH := make([]int32, width)
-	curH := make([]int32, width)
-	prevE := make([]int32, width) // E: gap in a (moves left, consumes b)
-	curE := make([]int32, width)
-	prevF := make([]int32, width) // F: gap in b (moves up, consumes a)
-	curF := make([]int32, width)
-	dirs := make([]byte, (la+1)*width)
+	al.prevH = grow(al.prevH, width)
+	al.curH = grow(al.curH, width)
+	al.prevE = grow(al.prevE, width) // E: gap in a (moves left, consumes b)
+	al.curE = grow(al.curE, width)
+	al.prevF = grow(al.prevF, width) // F: gap in b (moves up, consumes a)
+	al.curF = grow(al.curF, width)
+	al.dirs = grow(al.dirs, (la+1)*width)
+	prevH, curH := al.prevH, al.curH
+	prevE, curE := al.prevE, al.curE
+	prevF, curF := al.prevF, al.curF
+	dirs := al.dirs
 
 	for j := 0; j <= lb; j++ {
+		prevH[j] = 0
 		prevE[j], prevF[j] = negInf, negInf
 	}
 	var bestScore int32
@@ -222,6 +271,11 @@ func DefaultXDrop() XDropParams {
 // both sequence ends). With substitute k-mers the seed residues may
 // mismatch; the seed region is scored against the matrix like any other.
 func XDrop(a, b []alphabet.Code, seedA, seedB, k int, p XDropParams) (Result, error) {
+	return NewAligner().XDrop(a, b, seedA, seedB, k, p)
+}
+
+// XDrop is the buffer-reusing form of the package-level function.
+func (al *Aligner) XDrop(a, b []alphabet.Code, seedA, seedB, k int, p XDropParams) (Result, error) {
 	if seedA < 0 || seedB < 0 || seedA+k > len(a) || seedB+k > len(b) {
 		return Result{}, fmt.Errorf("align: seed (%d,%d,k=%d) outside sequences %d/%d",
 			seedA, seedB, k, len(a), len(b))
@@ -235,8 +289,10 @@ func XDrop(a, b []alphabet.Code, seedA, seedB, k int, p XDropParams) (Result, er
 	}
 	res.AlignLen = k
 
-	r := xdropExtend(a[seedA+k:], b[seedB+k:], p)
-	l := xdropExtend(reverse(a[:seedA]), reverse(b[:seedB]), p)
+	r := al.xdropExtend(a[seedA+k:], b[seedB+k:], p)
+	al.revA = reverseInto(al.revA, a[:seedA])
+	al.revB = reverseInto(al.revB, b[:seedB])
+	l := al.xdropExtend(al.revA, al.revB, p)
 
 	res.Score += r.score + l.score
 	res.Matches += r.matches + l.matches
@@ -245,14 +301,6 @@ func XDrop(a, b []alphabet.Code, seedA, seedB, k int, p XDropParams) (Result, er
 	res.BeginA, res.EndA = seedA-l.extA, seedA+k+r.extA
 	res.BeginB, res.EndB = seedB-l.extB, seedB+k+r.extB
 	return res, nil
-}
-
-func reverse(s []alphabet.Code) []alphabet.Code {
-	out := make([]alphabet.Code, len(s))
-	for i, c := range s {
-		out[len(s)-1-i] = c
-	}
-	return out
 }
 
 type extension struct {
@@ -276,7 +324,7 @@ var deadCell = cell{h: negInf, e: negInf, f: negInf}
 // dies end the extension); row buffers are fully cleared between rows for
 // simplicity, which keeps the worst case at O(len(a)·len(b)) like plain DP.
 // Returns the best-scoring end point with its path statistics.
-func xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
+func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 	if len(a) == 0 || len(b) == 0 {
 		return extension{}
 	}
@@ -285,8 +333,9 @@ func xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 	x := int32(p.XDrop)
 
 	width := len(b) + 1
-	prev := make([]cell, width)
-	cur := make([]cell, width)
+	al.prevCells = grow(al.prevCells, width)
+	al.curCells = grow(al.curCells, width)
+	prev, cur := al.prevCells, al.curCells
 	for j := range prev {
 		prev[j] = deadCell
 	}

@@ -290,6 +290,41 @@ func randomSeq(rng *rand.Rand, n int) []alphabet.Code {
 	return s
 }
 
+// A reused Aligner must be bit-identical to fresh per-call buffers across a
+// randomized stream of differently-sized problems — the property the batched
+// pipeline aligner depends on (stale buffer contents must never leak into a
+// later alignment).
+func TestAlignerReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	al := NewAligner()
+	sc := DefaultScoring()
+	p := DefaultXDrop()
+	for trial := 0; trial < 200; trial++ {
+		x := randomSeq(rng, rng.Intn(120)+1)
+		y := randomSeq(rng, rng.Intn(120)+1)
+		// Make some pairs homologous so alignments have structure.
+		if trial%2 == 0 && len(x) > 10 {
+			y = append([]alphabet.Code(nil), x...)
+			for i := 0; i < len(y)/5; i++ {
+				y[rng.Intn(len(y))] = alphabet.Code(rng.Intn(20))
+			}
+		}
+		if got, want := al.SmithWaterman(x, y, sc), SmithWaterman(x, y, sc); got != want {
+			t.Fatalf("trial %d: reused SW %+v != fresh %+v", trial, got, want)
+		}
+		k := 6
+		if len(x) >= k && len(y) >= k {
+			seedA, seedB := rng.Intn(len(x)-k+1), rng.Intn(len(y)-k+1)
+			got, err1 := al.XDrop(x, y, seedA, seedB, k, p)
+			want, err2 := XDrop(x, y, seedA, seedB, k, p)
+			if (err1 == nil) != (err2 == nil) || got != want {
+				t.Fatalf("trial %d: reused XDrop %+v (%v) != fresh %+v (%v)",
+					trial, got, err1, want, err2)
+			}
+		}
+	}
+}
+
 func BenchmarkSmithWaterman300(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x, y := randomSeq(rng, 300), randomSeq(rng, 300)

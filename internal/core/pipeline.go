@@ -9,6 +9,7 @@ import (
 	"repro/internal/fasta"
 	"repro/internal/kmer"
 	"repro/internal/mpi"
+	"repro/internal/parallel"
 	"repro/internal/scoring"
 	"repro/internal/seqstore"
 	"repro/internal/spmat"
@@ -51,6 +52,15 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	clock := comm.Clock()
+	// Declare the rank's intra-rank thread count: parallel stages charge
+	// compute as ops/min(threads, CoresPerNode) (paper follow-up: one rank
+	// per node, threads inside).
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	clock.SetThreads(threads)
+	defer clock.SetThreads(1)
 	var stats Stats
 
 	// --- fasta read/process + launch the overlapped sequence exchange ---
@@ -102,6 +112,7 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 
 	gemmOpts := dmat.DefaultSpGEMMOpts()
 	gemmOpts.UseHeapKernel = cfg.UseHeapKernel
+	gemmOpts.Threads = threads
 
 	// --- overlap detection: B = A·Aᵀ or (A·S)·Aᵀ ---
 	var b *dmat.Mat[Overlap]
@@ -274,17 +285,23 @@ func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
 // computation-to-data scheme (paper Fig. 11): each block computes its own
 // local upper triangle, block diagonals are taken by processes on or above
 // the grid diagonal, and the union covers every global pair exactly once.
+//
+// Pairs are aligned in bounded batches streamed onto the rank's worker pool
+// (the follow-up paper's batched hybrid design): each batch holds at most
+// cfg.BatchSize pairs, each worker reuses one set of DP buffers across all
+// its batches, and per-batch outputs merge in batch order — so the edge
+// list, stats and DP-cell count are bit-identical to a serial pass for any
+// thread count.
 func alignBlock(g *dmat.Grid, b *dmat.Mat[Overlap], store *seqstore.Store,
 	cfg Config, stats *Stats) ([]Edge, error) {
 
 	clock := g.Comm.Clock()
-	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
-	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
 	rowOff, colOff := b.RowOffset(), b.ColOffset()
 	onOrAboveDiag := g.MyRow <= g.MyCol
 
-	var edges []Edge
-	var cells int64
+	// Ownership filtering is cheap and serial; it yields the candidate list
+	// the batches are cut from.
+	var cands []spmat.Triple[Overlap]
 	for _, t := range b.Local.ToTriples() {
 		lr, lc := t.Row, t.Col
 		r, c := rowOff+lr, colOff+lc
@@ -301,76 +318,141 @@ func alignBlock(g *dmat.Grid, b *dmat.Mat[Overlap], store *seqstore.Store,
 		} else if lr > lc || (lr == lc && !onOrAboveDiag) {
 			continue // the mirrored block owns this pair
 		}
-		seqR, err := store.RowSeq(r)
-		if err != nil {
-			return nil, err
-		}
-		seqC, err := store.ColSeq(c)
-		if err != nil {
-			return nil, err
-		}
-		// Align in canonical orientation (lower global index first): mirror
-		// blocks see the pair transposed, and alignment tie-breaking is not
-		// orientation-symmetric, so this keeps the PSG bit-identical across
-		// process counts (the paper's reproducibility property).
-		aCodes, bCodes := seqR.Codes, seqC.Codes
-		swapped := r > c
-		if swapped {
-			aCodes, bCodes = bCodes, aCodes
-		}
-		var best align.Result
-		switch cfg.Align {
-		case AlignSW:
-			best = align.SmithWaterman(aCodes, bCodes, sc)
-			cells += best.Cells
-		case AlignXDrop:
-			ov := t.Val
-			for si := int32(0); si < ov.NumSeeds; si++ {
-				seed := ov.Seeds[si]
-				seedA, seedB := int(seed.PosR), int(seed.PosC)
-				if swapped {
-					seedA, seedB = seedB, seedA
-				}
-				res, err := align.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
-				if err != nil {
-					continue // seed fell off due to an inconsistent position
-				}
-				cells += res.Cells
-				if res.Score > best.Score {
-					best = res
-				}
-			}
-		}
-		stats.PairsAligned++
-
-		lenR, lenC := len(aCodes), len(bCodes)
-		ident := best.Identity()
-		cov := best.CoverageShorter(lenR, lenC)
-		ns := best.NormalizedScore(lenR, lenC)
-		var weight float64
-		switch cfg.Weight {
-		case WeightANI:
-			if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
-				continue
-			}
-			weight = ident
-		case WeightNS:
-			if best.Score <= 0 {
-				continue
-			}
-			weight = ns
-		}
-		lo, hi := r, c
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		edges = append(edges, Edge{
-			R: lo, C: hi, Weight: weight,
-			Ident: ident, Cov: cov, NS: ns, Score: best.Score,
-		})
+		cands = append(cands, t)
 	}
-	clock.Ops(float64(cells) * opsPerDPCell)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	nbatches := (len(cands) + batch - 1) / batch
+
+	// Per-batch outputs, merged in batch order after the pool drains.
+	type batchOut struct {
+		edges   []Edge
+		aligned int64
+		cells   int64
+		err     error
+	}
+	outs := make([]batchOut, nbatches)
+	aligners := make([]*align.Aligner, parallel.Workers(threads)) // per-worker reusable DP buffers
+	parallel.ForChunks(threads, len(cands), nbatches, func(w, chunk, lo, hi int) {
+		al := aligners[w]
+		if al == nil {
+			al = align.NewAligner()
+			aligners[w] = al
+		}
+		out := &outs[chunk]
+		for _, t := range cands[lo:hi] {
+			edge, aligned, cells, err := alignPair(al, t, rowOff, colOff, store, cfg)
+			out.aligned += aligned
+			out.cells += cells
+			if err != nil {
+				out.err = err
+				return
+			}
+			if edge != nil {
+				out.edges = append(out.edges, *edge)
+			}
+		}
+	})
+
+	var edges []Edge
+	var cells int64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		edges = append(edges, outs[i].edges...)
+		stats.PairsAligned += outs[i].aligned
+		cells += outs[i].cells
+	}
+	clock.ParOps(float64(cells) * opsPerDPCell)
 	return edges, nil
+}
+
+// alignPair aligns one candidate pair on the given worker-local Aligner and
+// applies the similarity filter; edge is nil when the pair is filtered out.
+func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
+	store *seqstore.Store, cfg Config) (edge *Edge, aligned, cells int64, err error) {
+
+	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
+	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
+	r, c := rowOff+t.Row, colOff+t.Col
+	seqR, err := store.RowSeq(r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	seqC, err := store.ColSeq(c)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Align in canonical orientation (lower global index first): mirror
+	// blocks see the pair transposed, and alignment tie-breaking is not
+	// orientation-symmetric, so this keeps the PSG bit-identical across
+	// process counts (the paper's reproducibility property).
+	aCodes, bCodes := seqR.Codes, seqC.Codes
+	swapped := r > c
+	if swapped {
+		aCodes, bCodes = bCodes, aCodes
+	}
+	var best align.Result
+	switch cfg.Align {
+	case AlignSW:
+		best = al.SmithWaterman(aCodes, bCodes, sc)
+		cells += best.Cells
+	case AlignXDrop:
+		ov := t.Val
+		for si := int32(0); si < ov.NumSeeds; si++ {
+			seed := ov.Seeds[si]
+			seedA, seedB := int(seed.PosR), int(seed.PosC)
+			if swapped {
+				seedA, seedB = seedB, seedA
+			}
+			res, err := al.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
+			if err != nil {
+				continue // seed fell off due to an inconsistent position
+			}
+			cells += res.Cells
+			if res.Score > best.Score {
+				best = res
+			}
+		}
+	}
+	aligned = 1
+
+	lenR, lenC := len(aCodes), len(bCodes)
+	ident := best.Identity()
+	cov := best.CoverageShorter(lenR, lenC)
+	ns := best.NormalizedScore(lenR, lenC)
+	var weight float64
+	switch cfg.Weight {
+	case WeightANI:
+		if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
+			return nil, aligned, cells, nil
+		}
+		weight = ident
+	case WeightNS:
+		if best.Score <= 0 {
+			return nil, aligned, cells, nil
+		}
+		weight = ns
+	}
+	lo, hi := r, c
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return &Edge{
+		R: lo, C: hi, Weight: weight,
+		Ident: ident, Cov: cov, NS: ns, Score: best.Score,
+	}, aligned, cells, nil
 }
 
 // GatherEdges collects every rank's edges on rank 0 (nil elsewhere).

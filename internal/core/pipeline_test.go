@@ -140,6 +140,103 @@ func TestProcessCountOblivious(t *testing.T) {
 	}
 }
 
+// The similarity graph must also be identical for every intra-rank thread
+// count and batch size — the determinism contract of the hybrid-parallel
+// refactor (parallel SpGEMM chunks and batched alignment merge in
+// deterministic order). Run with -race to validate the concurrency.
+func TestThreadCountOblivious(t *testing.T) {
+	data := familyDataset(t, 5, 43)
+	for _, mode := range []AlignMode{AlignXDrop, AlignSW} {
+		for _, subs := range []int{0, 5} {
+			cfg := DefaultConfig()
+			cfg.Align = mode
+			cfg.SubstituteKmers = subs
+			var ref []Edge
+			var refStats Stats
+			for _, variant := range []struct{ threads, batch int }{
+				{1, 0}, {2, 0}, {8, 0}, {8, 1}, {3, 7},
+			} {
+				cfg.Threads = variant.threads
+				cfg.BatchSize = variant.batch
+				edges, stats, _ := runPipeline(t, data.Records, 4, cfg)
+				if ref == nil {
+					ref, refStats = edges, stats
+					continue
+				}
+				if stats != refStats {
+					t.Fatalf("mode=%v subs=%d threads=%d batch=%d: stats %+v differ from serial %+v",
+						mode, subs, variant.threads, variant.batch, stats, refStats)
+				}
+				if len(edges) != len(ref) {
+					t.Fatalf("mode=%v subs=%d threads=%d batch=%d: %d edges vs %d",
+						mode, subs, variant.threads, variant.batch, len(edges), len(ref))
+				}
+				for i := range ref {
+					if edges[i] != ref[i] {
+						t.Fatalf("mode=%v subs=%d threads=%d batch=%d: edge %d differs: %+v vs %+v",
+							mode, subs, variant.threads, variant.batch, i, edges[i], ref[i])
+					}
+				}
+			}
+			if len(ref) == 0 {
+				t.Fatalf("mode=%v subs=%d: no edges to compare", mode, subs)
+			}
+		}
+	}
+}
+
+// Threading must shrink the virtual time of the parallel stages (SpGEMM and
+// alignment) while leaving the result untouched: the clock charges parallel
+// compute as ops/threads, capped by the model's cores per node.
+func TestThreadsSpeedUpVirtualTime(t *testing.T) {
+	data := familyDataset(t, 6, 47)
+	cfg := DefaultConfig()
+	cfg.SubstituteKmers = 5
+
+	// Lower the modeled compute rate so the tiny test dataset sits in the
+	// compute-dominated regime the paper measures (same trick as the
+	// experiments' scalingModel); otherwise broadcast latency hides the
+	// SpGEMM flop speedup at this scale.
+	model := mpi.DefaultCostModel()
+	model.ComputeRate = 4e7
+	run := func(threads int) map[string]float64 {
+		cfg.Threads = threads
+		cl := mpi.NewCluster(4, model)
+		err := cl.Run(func(c *mpi.Comm) error {
+			n := len(data.Records)
+			lo, hi := n*c.Rank()/4, n*(c.Rank()+1)/4
+			_, err := Run(c, data.Records[lo:hi], cfg)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.SectionMax()
+	}
+	times := map[int]map[string]float64{}
+	for _, threads := range []int{1, 4} {
+		times[threads] = run(threads)
+	}
+	for _, section := range []string{SectionB, SectionAlign} {
+		t1, t4 := times[1][section], times[4][section]
+		if t4 <= 0 || t1 <= 0 {
+			t.Fatalf("section %q missing: %v", section, times)
+		}
+		if speedup := t1 / t4; speedup < 2 {
+			t.Errorf("section %q: 4-thread speedup %.2fx, want >= 2x (%g -> %g s)",
+				section, speedup, t1, t4)
+		}
+	}
+	// Threads beyond the modeled node cores must not speed the clock further.
+	cfg.Threads = model.CoresPerNode
+	_, _, clCap := runPipeline(t, data.Records, 4, cfg)
+	cfg.Threads = model.CoresPerNode * 64
+	_, _, clOver := runPipeline(t, data.Records, 4, cfg)
+	if a, b := clCap.SectionMax()[SectionAlign], clOver.SectionMax()[SectionAlign]; a != b {
+		t.Errorf("CoresPerNode cap not applied: align %g s at cap vs %g s oversubscribed", a, b)
+	}
+}
+
 // Substitute k-mers must strictly widen the candidate space (more pairs
 // aligned) and not lose exact-match candidates: the paper's recall argument.
 func TestSubstituteKmersIncreaseCandidates(t *testing.T) {

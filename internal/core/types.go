@@ -83,6 +83,19 @@ type Config struct {
 	GapOpen, GapExtend int
 	XDropValue         int
 
+	// Threads is the intra-rank thread count for the compute-heavy stages:
+	// local SpGEMM multiplies chunks of B's columns concurrently and
+	// alignment runs in batches on a worker pool (the hybrid MPI+OpenMP
+	// parallelism of the extreme-scale follow-up paper). Results are
+	// bit-identical for every value. <= 1 runs serially; the virtual clock
+	// credits at most CostModel.CoresPerNode-way speedup.
+	Threads int
+
+	// BatchSize bounds how many candidate pairs one alignment batch holds
+	// (the follow-up paper's batched pipeline keeps alignment memory flat).
+	// <= 0 selects DefaultBatchSize.
+	BatchSize int
+
 	// UseHeapKernel switches the local SpGEMM kernel (ablation).
 	UseHeapKernel bool
 	// BlockingExchange disables communication/computation overlap: the
@@ -95,8 +108,15 @@ type Config struct {
 	NaiveTriangle bool
 }
 
+// DefaultBatchSize is the alignment batch bound used when Config.BatchSize
+// is unset: large enough to amortize dispatch, small enough to keep
+// per-worker buffers and in-flight work modest.
+const DefaultBatchSize = 256
+
 // DefaultConfig mirrors the paper's main configuration: k=6, BLOSUM62 with
 // gap open 11 / extend 1, x-drop 49, ANI >= 30%, coverage >= 70%.
+// Threads defaults to 1 (serial) so virtual times stay comparable across
+// machines; opt into intra-rank parallelism explicitly.
 func DefaultConfig() Config {
 	return Config{
 		K:           6,
@@ -107,6 +127,7 @@ func DefaultConfig() Config {
 		GapOpen:     11,
 		GapExtend:   1,
 		XDropValue:  49,
+		Threads:     1,
 	}
 }
 

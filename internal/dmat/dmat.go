@@ -267,6 +267,11 @@ type SpGEMMOpts struct {
 	FlopOps float64
 	// UseHeapKernel selects the heap local kernel instead of hash.
 	UseHeapKernel bool
+	// Threads is the intra-rank thread count for the local multiply
+	// (chunked over B's nonempty columns; <= 1 is serial). Results are
+	// bit-identical for every value; the virtual clock charges flops as
+	// parallel work (Clock.ParOps).
+	Threads int
 }
 
 // DefaultSpGEMMOpts charges 8 ops per semiring flop with the hash kernel.
@@ -314,20 +319,18 @@ func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 			return nil, fmt.Errorf("dmat: stage %d decode B: %w", s, err)
 		}
 
-		var prod *spmat.DCSC[C]
-		var stats spmat.Stats
-		if opts.UseHeapKernel {
-			prod, stats, err = spmat.SpGEMMHeap(aBlk, bBlk, sr)
-		} else {
-			prod, stats, err = spmat.SpGEMMHash(aBlk, bBlk, sr)
-		}
+		prod, stats, err := spmat.SpGEMM(aBlk, bBlk, sr,
+			spmat.SpGEMMOpts{UseHeap: opts.UseHeapKernel, Threads: opts.Threads})
 		if err != nil {
 			return nil, fmt.Errorf("dmat: stage %d multiply: %w", s, err)
 		}
-		clock.Ops(float64(stats.Flops) * opts.FlopOps)
+		clock.ParOps(float64(stats.Flops) * opts.FlopOps)
 		accum = append(accum, prod.ToTriples()...)
 	}
-	clock.Ops(float64(len(accum)) * buildOps)
+	// The stage-product multiway merge is threaded in the modeled
+	// implementation (CombBLAS's hybrid SpGEMM), so its cost parallelizes
+	// with the same thread count as the multiplies.
+	clock.ParOps(float64(len(accum)) * buildOps)
 
 	rLo, rHi := BlockRange(a.Rows, g.Q, g.MyRow)
 	cLo, cHi := BlockRange(b.Cols, g.Q, g.MyCol)

@@ -21,6 +21,21 @@ func tiny() Scale {
 	}
 }
 
+// testScale is tiny(), shrunk further under -short so the whole package
+// stays in the tens-of-seconds range; the shape assertions are scale-free.
+func testScale() Scale {
+	sc := tiny()
+	if testing.Short() {
+		sc.Name = "short"
+		sc.DatasetA, sc.DatasetB = 30, 60
+		sc.ScalingDataset = 50
+		sc.NodesLarge = []int{16, 64}
+		sc.WeakBase = 40
+		sc.ScopeFamilies = 4
+	}
+	return sc
+}
+
 func TestTableFormatting(t *testing.T) {
 	tb := &Table{ID: "x", Title: "test", Columns: []string{"a", "bb"}}
 	tb.Add("1", 2.5)
@@ -47,8 +62,8 @@ func TestSquareAtMost(t *testing.T) {
 }
 
 func TestGetRegistry(t *testing.T) {
-	if len(All()) != 11 {
-		t.Errorf("expected 11 experiments, got %d", len(All()))
+	if len(All()) != 12 {
+		t.Errorf("expected 12 experiments, got %d", len(All()))
 	}
 	if _, err := Get("fig12"); err != nil {
 		t.Error(err)
@@ -61,9 +76,15 @@ func TestGetRegistry(t *testing.T) {
 // Smoke-run the cheap experiments end to end at tiny scale; the expensive
 // ones are covered by the benchmark suite and integration test.
 func TestScalingExperimentsRun(t *testing.T) {
-	sc := tiny()
+	sc := testScale()
 	defer Reset()
-	for _, id := range []string{"fig14strong", "fig14weak", "fig15", "fig16"} {
+	ids := []string{"fig14strong", "fig14weak", "fig15", "fig16"}
+	if testing.Short() {
+		// fig15/fig16 exercise the same runPastisModel+SectionMean machinery
+		// as fig14strong; smoke-run the two distinct paths only.
+		ids = []string{"fig14strong", "fig14weak"}
+	}
+	for _, id := range ids {
 		exp, err := Get(id)
 		if err != nil {
 			t.Fatal(err)
@@ -81,8 +102,10 @@ func TestScalingExperimentsRun(t *testing.T) {
 // Strong scaling must actually scale: more nodes => less virtual time, for
 // every substitute-k-mer count.
 func TestStrongScalingShape(t *testing.T) {
-	sc := tiny()
-	sc.NodesLarge = []int{16, 64, 256}
+	sc := testScale()
+	if !testing.Short() {
+		sc.NodesLarge = []int{16, 64, 256}
+	}
 	defer Reset()
 	tb, err := Fig14Strong(sc)
 	if err != nil {
@@ -115,7 +138,7 @@ func TestStrongScalingShape(t *testing.T) {
 // Weak scaling: nnz(B) must grow superlinearly (towards 4x per 2x
 // sequences), the paper's quadratic-output observation.
 func TestWeakScalingOutputGrowth(t *testing.T) {
-	sc := tiny()
+	sc := testScale()
 	defer Reset()
 	tb, err := Fig14Weak(sc)
 	if err != nil {
@@ -138,6 +161,59 @@ func TestWeakScalingOutputGrowth(t *testing.T) {
 		if last < first*seqRatio*1.3 {
 			t.Errorf("nnzB grew only %.1fx over %gx sequences (subs group %d)",
 				last/first, seqRatio, g/group)
+		}
+	}
+}
+
+// Thread scaling: the parallel stages must speed up with threads — at least
+// 2x at 4 threads for the SpGEMM and alignment stage sum — and the sweep
+// must saturate rather than regress. The experiment itself asserts the PSG
+// is identical across thread counts.
+func TestThreadScalingShape(t *testing.T) {
+	sc := testScale()
+	defer Reset()
+	tb, err := ThreadScaling(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows: subs, threads, nodes, total_s, spgemm_s, align_s, speedup_vs_1t
+	type key struct{ subs, threads int }
+	stage := map[key]float64{}
+	total := map[key]float64{}
+	for _, row := range tb.Rows {
+		var k key
+		if _, err := fmtSscan(row[0], &k.subs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[1], &k.threads); err != nil {
+			t.Fatal(err)
+		}
+		var spgemm, alignT, tot float64
+		if _, err := fmtSscan(row[4], &spgemm); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[5], &alignT); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &tot); err != nil {
+			t.Fatal(err)
+		}
+		stage[k] = spgemm + alignT
+		total[k] = tot
+	}
+	for _, subs := range []int{0, 25} {
+		s1 := stage[key{subs, 1}]
+		s4 := stage[key{subs, 4}]
+		if s1 <= 0 || s4 <= 0 {
+			t.Fatalf("missing stage times for subs=%d: %v", subs, stage)
+		}
+		if speedup := s1 / s4; speedup < 2 {
+			t.Errorf("subs=%d: SpGEMM+align speedup at 4 threads = %.2fx, want >= 2x", subs, speedup)
+		}
+		last := threadSweep[len(threadSweep)-1]
+		if total[key{subs, last}] > total[key{subs, 1}] {
+			t.Errorf("subs=%d: %d-thread total (%g) slower than serial (%g)",
+				subs, last, total[key{subs, last}], total[key{subs, 1}])
 		}
 	}
 }

@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"table2", "connected components as families", Table2},
 		{"claims", "quantitative text claims", Claims},
 		{"ablations", "design-choice ablations", Ablations},
+		{"threads", "intra-rank thread scaling (hybrid parallelism)", ThreadScaling},
 	}
 }
 

@@ -31,8 +31,14 @@ import (
 type CostModel struct {
 	Alpha       float64 // point-to-point latency, seconds
 	Beta        float64 // per-byte transfer time, seconds/byte
-	ComputeRate float64 // generic local compute, ops/second
+	ComputeRate float64 // generic local compute, ops/second (one core)
 	IORate      float64 // parallel filesystem read rate per rank, bytes/second
+	// CoresPerNode caps the intra-rank threading speedup of ParOps: a rank
+	// configured with t threads charges parallel compute as
+	// ops / min(t, CoresPerNode), the virtual analog of GOMAXPROCS on the
+	// simulated node (the paper runs one MPI rank per node with OpenMP
+	// threads inside). <= 0 means uncapped.
+	CoresPerNode int
 }
 
 // DefaultCostModel returns constants calibrated to the paper's platform
@@ -40,10 +46,11 @@ type CostModel struct {
 // compute/IO rates. Absolute seconds are not meaningful — shapes are.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		Alpha:       2e-6,
-		Beta:        1.25e-10,
-		ComputeRate: 2e9,
-		IORate:      1e9,
+		Alpha:        2e-6,
+		Beta:         1.25e-10,
+		ComputeRate:  2e9,
+		IORate:       1e9,
+		CoresPerNode: 32, // Cori Haswell: 32 cores per node
 	}
 }
 
@@ -51,6 +58,7 @@ func DefaultCostModel() CostModel {
 type Clock struct {
 	now       float64
 	model     CostModel
+	threads   int   // effective intra-rank threads for ParOps; >= 1
 	sent      int64 // bytes sent (p2p + collectives)
 	received  int64
 	messages  int64
@@ -65,7 +73,8 @@ type openSection struct {
 }
 
 func newClock(model CostModel) *Clock {
-	return &Clock{model: model, sections: make(map[string]float64), opsByName: make(map[string]float64)}
+	return &Clock{model: model, threads: 1,
+		sections: make(map[string]float64), opsByName: make(map[string]float64)}
 }
 
 // Now returns the rank's current virtual time in seconds.
@@ -80,6 +89,31 @@ func (c *Clock) Advance(d float64) {
 
 // Ops charges n generic compute operations at the model's compute rate.
 func (c *Clock) Ops(n float64) { c.Advance(n / c.model.ComputeRate) }
+
+// SetThreads declares the rank's intra-rank thread count for subsequent
+// ParOps charges: the effective parallelism is min(threads, CoresPerNode)
+// (uncapped if the model leaves CoresPerNode <= 0). Values < 1 reset to
+// serial. Returns the effective thread count.
+func (c *Clock) SetThreads(threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	if cap := c.model.CoresPerNode; cap > 0 && threads > cap {
+		threads = cap
+	}
+	c.threads = threads
+	return threads
+}
+
+// Threads returns the effective intra-rank thread count.
+func (c *Clock) Threads() int { return c.threads }
+
+// ParOps charges n compute operations spread perfectly across the rank's
+// effective threads: ops / min(threads, CoresPerNode) seconds of virtual
+// time at the model's per-core rate. Used by the thread-parallel stages
+// (SpGEMM chunk multiply, batched alignment); serial bookkeeping keeps
+// charging via Ops.
+func (c *Clock) ParOps(n float64) { c.Advance(n / c.model.ComputeRate / float64(c.threads)) }
 
 // IOBytes charges reading n bytes from the parallel filesystem.
 func (c *Clock) IOBytes(n int64) { c.Advance(float64(n) / c.model.IORate) }

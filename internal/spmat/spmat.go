@@ -16,6 +16,8 @@ package spmat
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Index is the row/column index type. The k-mer dimension exceeds int32.
@@ -220,22 +222,50 @@ type Stats struct {
 	Flops int64
 }
 
-// SpGEMMHash computes A·B over sr with a per-column hash accumulator.
-func SpGEMMHash[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
-	if a.NumCols != b.NumRows {
-		return nil, Stats{}, fmt.Errorf("spmat: SpGEMM inner dim %d vs %d", a.NumCols, b.NumRows)
-	}
-	// Map from column id to A's compressed column slot for O(1) access per
-	// multiply; amortized over all of B's columns.
+// SpGEMMOpts tunes the local multiply: kernel choice and intra-rank
+// threading (the hybrid-parallelism layer of the follow-up paper).
+type SpGEMMOpts struct {
+	// UseHeap selects the heap k-way-merge kernel instead of hashing.
+	UseHeap bool
+	// Threads is the intra-rank thread count; <= 1 multiplies serially.
+	Threads int
+	// ChunksPerThread oversubscribes chunks for load balance (default 4).
+	ChunksPerThread int
+}
+
+// segment is the partial SpGEMM output for one contiguous range of B's
+// nonempty columns, in the same compressed layout as DCSC but with CP
+// relative to the segment start. Segments concatenate in chunk order into
+// the exact DCSC a serial pass would produce, because output columns appear
+// in increasing B-column order within and across chunks.
+type segment[C any] struct {
+	jc    []Index
+	cp    []int
+	ir    []Index
+	vals  []C
+	flops int64
+}
+
+// aColIndex maps a column id to A's compressed column slot for O(1) access
+// per multiply; built once and shared read-only across chunk workers.
+func aColIndex[A any](a *DCSC[A]) map[Index]int {
 	aCol := make(map[Index]int, len(a.JC))
 	for c, col := range a.JC {
 		aCol[col] = c
 	}
-	out := &DCSC[C]{NumRows: a.NumRows, NumCols: b.NumCols}
-	var stats Stats
+	return aCol
+}
+
+// hashRange multiplies B's nonempty-column range [lo,hi) with a per-column
+// hash accumulator (one of the two local kernels CombBLAS mixes).
+func hashRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol map[Index]int,
+	sr Semiring[A, B, C], lo, hi int) segment[C] {
+
+	var out segment[C]
 	acc := make(map[Index]C)
 	var rows []Index
-	for cb, j := range b.JC {
+	for cb := lo; cb < hi; cb++ {
+		j := b.JC[cb]
 		clear(acc)
 		rows = rows[:0]
 		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
@@ -248,7 +278,7 @@ func SpGEMMHash[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCS
 			for ka := a.CP[ca]; ka < a.CP[ca+1]; ka++ {
 				i := a.IR[ka]
 				contrib := sr.Multiply(a.Vals[ka], bv)
-				stats.Flops++
+				out.flops++
 				if old, seen := acc[i]; seen {
 					acc[i] = sr.Add(old, contrib)
 				} else {
@@ -261,38 +291,32 @@ func SpGEMMHash[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCS
 			continue
 		}
 		sort.Slice(rows, func(x, y int) bool { return rows[x] < rows[y] })
-		out.JC = append(out.JC, j)
-		out.CP = append(out.CP, len(out.IR))
+		out.jc = append(out.jc, j)
+		out.cp = append(out.cp, len(out.ir))
 		for _, i := range rows {
-			out.IR = append(out.IR, i)
-			out.Vals = append(out.Vals, acc[i])
+			out.ir = append(out.ir, i)
+			out.vals = append(out.vals, acc[i])
 		}
 	}
-	out.CP = append(out.CP, len(out.IR))
-	return out, stats, nil
+	return out
 }
 
-// SpGEMMHeap computes A·B over sr by k-way merging A's (row-sorted) columns
-// with a binary heap, producing each output column in row order without a
-// hash table. Faster than hashing for very sparse accumulations (the
-// "compression ratio" near 1 regime); slower when rows repeat often.
-func SpGEMMHeap[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
-	if a.NumCols != b.NumRows {
-		return nil, Stats{}, fmt.Errorf("spmat: SpGEMM inner dim %d vs %d", a.NumCols, b.NumRows)
-	}
-	aCol := make(map[Index]int, len(a.JC))
-	for c, col := range a.JC {
-		aCol[col] = c
-	}
-	out := &DCSC[C]{NumRows: a.NumRows, NumCols: b.NumCols}
-	var stats Stats
+// heapRange multiplies B's nonempty-column range [lo,hi) by k-way merging
+// A's (row-sorted) columns with a binary heap, producing each output column
+// in row order without a hash table. Faster than hashing for very sparse
+// accumulations (the "compression ratio" near 1 regime); slower when rows
+// repeat often.
+func heapRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol map[Index]int,
+	sr Semiring[A, B, C], lo, hi int) segment[C] {
 
+	var out segment[C]
 	// stream is one (A column, B scalar) product being merged.
 	type stream struct {
 		pos, end int
 		bval     B
 	}
-	for cb, j := range b.JC {
+	for cb := lo; cb < hi; cb++ {
+		j := b.JC[cb]
 		var streams []stream
 		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
 			if ca, ok := aCol[b.IR[kb]]; ok {
@@ -341,31 +365,129 @@ func SpGEMMHeap[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCS
 		for s := range streams {
 			push(s)
 		}
-		colStart := len(out.IR)
+		colStart := len(out.ir)
 		for len(heap) > 0 {
 			s := pop()
 			st := &streams[s]
 			row := a.IR[st.pos]
 			contrib := sr.Multiply(a.Vals[st.pos], st.bval)
-			stats.Flops++
-			if n := len(out.IR); n > colStart && out.IR[n-1] == row {
-				out.Vals[n-1] = sr.Add(out.Vals[n-1], contrib)
+			out.flops++
+			if n := len(out.ir); n > colStart && out.ir[n-1] == row {
+				out.vals[n-1] = sr.Add(out.vals[n-1], contrib)
 			} else {
-				out.IR = append(out.IR, row)
-				out.Vals = append(out.Vals, contrib)
+				out.ir = append(out.ir, row)
+				out.vals = append(out.vals, contrib)
 			}
 			st.pos++
 			if st.pos < st.end {
 				push(s)
 			}
 		}
-		if len(out.IR) > colStart {
-			out.JC = append(out.JC, j)
-			out.CP = append(out.CP, colStart)
+		if len(out.ir) > colStart {
+			out.jc = append(out.jc, j)
+			out.cp = append(out.cp, colStart)
 		}
 	}
+	return out
+}
+
+// assemble concatenates per-chunk segments, in chunk order, into one DCSC.
+func assemble[C any](rows, cols Index, segs []segment[C]) (*DCSC[C], Stats) {
+	var stats Stats
+	ncols, nnz := 0, 0
+	for _, s := range segs {
+		ncols += len(s.jc)
+		nnz += len(s.ir)
+		stats.Flops += s.flops
+	}
+	out := &DCSC[C]{
+		NumRows: rows, NumCols: cols,
+		JC:   make([]Index, 0, ncols),
+		CP:   make([]int, 0, ncols+1),
+		IR:   make([]Index, 0, nnz),
+		Vals: make([]C, 0, nnz),
+	}
+	for _, s := range segs {
+		base := len(out.IR)
+		out.JC = append(out.JC, s.jc...)
+		for _, p := range s.cp {
+			out.CP = append(out.CP, base+p)
+		}
+		out.IR = append(out.IR, s.ir...)
+		out.Vals = append(out.Vals, s.vals...)
+	}
 	out.CP = append(out.CP, len(out.IR))
+	return out, stats
+}
+
+// SpGEMM computes A·B over sr, partitioning B's nonempty columns into
+// chunks multiplied concurrently by opts.Threads workers and merging the
+// per-chunk DCSC segments in chunk order. The result — structure, values
+// and Flops count — is bit-identical to the serial kernels for any thread
+// count, because chunk boundaries depend only on the column count and each
+// output column is produced wholly inside one chunk.
+func SpGEMM[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C],
+	opts SpGEMMOpts) (*DCSC[C], Stats, error) {
+
+	if a.NumCols != b.NumRows {
+		return nil, Stats{}, fmt.Errorf("spmat: SpGEMM inner dim %d vs %d", a.NumCols, b.NumRows)
+	}
+	ncols := len(b.JC)
+	if ncols == 0 {
+		return Empty[C](a.NumRows, b.NumCols), Stats{}, nil
+	}
+	aCol := aColIndex(a)
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	cpt := opts.ChunksPerThread
+	if cpt < 1 {
+		cpt = 4
+	}
+	nchunks := 1
+	if threads > 1 {
+		nchunks = threads * cpt
+		if nchunks > ncols {
+			nchunks = ncols
+		}
+	}
+	if nchunks == 1 {
+		// Serial fast path: adopt the single segment's arrays in place
+		// instead of copying them through assemble.
+		var seg segment[C]
+		if opts.UseHeap {
+			seg = heapRange(a, b, aCol, sr, 0, ncols)
+		} else {
+			seg = hashRange(a, b, aCol, sr, 0, ncols)
+		}
+		out := &DCSC[C]{
+			NumRows: a.NumRows, NumCols: b.NumCols,
+			JC: seg.jc, CP: append(seg.cp, len(seg.ir)), IR: seg.ir, Vals: seg.vals,
+		}
+		return out, Stats{Flops: seg.flops}, nil
+	}
+	segs := make([]segment[C], nchunks)
+	parallel.ForChunks(threads, ncols, nchunks, func(w, chunk, lo, hi int) {
+		if opts.UseHeap {
+			segs[chunk] = heapRange(a, b, aCol, sr, lo, hi)
+		} else {
+			segs[chunk] = hashRange(a, b, aCol, sr, lo, hi)
+		}
+	})
+	out, stats := assemble(a.NumRows, b.NumCols, segs)
 	return out, stats, nil
+}
+
+// SpGEMMHash computes A·B over sr with a per-column hash accumulator,
+// serially: the reference path for differential tests against SpGEMM.
+func SpGEMMHash[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
+	return SpGEMM(a, b, sr, SpGEMMOpts{})
+}
+
+// SpGEMMHeap is the serial heap-kernel counterpart of SpGEMMHash.
+func SpGEMMHeap[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C]) (*DCSC[C], Stats, error) {
+	return SpGEMM(a, b, sr, SpGEMMOpts{UseHeap: true})
 }
 
 // Equal reports whether two matrices have identical structure and values

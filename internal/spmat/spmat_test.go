@@ -356,6 +356,94 @@ func TestSymmetrizeProperty(t *testing.T) {
 	}
 }
 
+// Property: the chunked parallel SpGEMM is bit-identical to the serial
+// kernels — structure, values and Flops — for any thread count and both
+// kernels, on randomized shapes including hypersparse and empty ones.
+func TestSpGEMMParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := Index(r.Intn(30)+1), Index(r.Intn(30)+1), Index(r.Intn(30)+1)
+		a := mustFromTriples(t, n, k, randomTriples(r, n, k, r.Intn(int(n*k)+1)), nil)
+		b := mustFromTriples(t, k, m, randomTriples(r, k, m, r.Intn(int(k*m)+1)), nil)
+		for _, heap := range []bool{false, true} {
+			var ref *DCSC[float64]
+			var refStats Stats
+			var err error
+			if heap {
+				ref, refStats, err = SpGEMMHeap(a, b, Arithmetic)
+			} else {
+				ref, refStats, err = SpGEMMHash(a, b, Arithmetic)
+			}
+			if err != nil {
+				return false
+			}
+			for _, threads := range []int{1, 2, 8} {
+				got, stats, err := SpGEMM(a, b, Arithmetic,
+					SpGEMMOpts{UseHeap: heap, Threads: threads})
+				if err != nil {
+					return false
+				}
+				if stats.Flops != refStats.Flops {
+					t.Logf("heap=%v threads=%d: flops %d vs %d", heap, threads, stats.Flops, refStats.Flops)
+					return false
+				}
+				if !Equal(ref, got, func(x, y float64) bool { return x == y }) {
+					t.Logf("heap=%v threads=%d: matrices differ", heap, threads)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The parallel path must also honor non-commutative-looking semirings the
+// pipeline uses (overlap merging keeps ordered seed lists), so check a
+// semiring whose Add depends on evaluation order within a column. Chunking
+// never splits a column, so order within a column is unchanged.
+func TestSpGEMMParallelCountingSemiring(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := randomTriples(rng, 40, 60, 300)
+	ints := make([]Triple[int32], len(rows))
+	for i, tr := range rows {
+		ints[i] = Triple[int32]{Row: tr.Row, Col: tr.Col, Val: int32(tr.Val)}
+	}
+	a := mustFromTriples(t, 40, 60, ints, nil)
+	at := a.Transpose()
+	ref, _, err := SpGEMMHash(a, at, Counting[int32, int32]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 8} {
+		got, _, err := SpGEMM(a, at, Counting[int32, int32](),
+			SpGEMMOpts{Threads: threads, ChunksPerThread: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(ref, got, func(x, y int64) bool { return x == y }) {
+			t.Errorf("threads=%d: counting overlap differs from serial", threads)
+		}
+	}
+}
+
+func TestSpGEMMParallelEmptyOperands(t *testing.T) {
+	a := Empty[float64](4, 5)
+	b := Empty[float64](5, 3)
+	c, stats, err := SpGEMM(a, b, Arithmetic, SpGEMMOpts{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 || stats.Flops != 0 || c.NumRows != 4 || c.NumCols != 3 {
+		t.Errorf("empty product: nnz=%d flops=%d dims %dx%d", c.NNZ(), stats.Flops, c.NumRows, c.NumCols)
+	}
+	if _, _, err := SpGEMM(a, Empty[float64](9, 2), Arithmetic, SpGEMMOpts{Threads: 2}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
 func benchMatrices(n, k, m Index, nnz int) (*DCSC[float64], *DCSC[float64]) {
 	rng := rand.New(rand.NewSource(8))
 	a, _ := FromTriples(n, k, randomTriples(rng, n, k, nnz), nil)

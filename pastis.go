@@ -17,6 +17,15 @@
 // the paper measures on up to 2025 Cray XC40 nodes. Results are bit-exact
 // across process counts (the paper's reproducibility property).
 //
+// Parallelism is hybrid, mirroring the paper's one-MPI-rank-per-node with
+// OpenMP-threads-inside deployment (made central by the extreme-scale
+// follow-up, arXiv:2303.01845): Config.Threads adds intra-rank shared-memory
+// workers that multiply SpGEMM column chunks concurrently and align
+// candidate pairs in bounded batches (Config.BatchSize) with reusable DP
+// buffers. The graph is bit-identical for every thread count and batch
+// size; the virtual clock credits parallel compute with up to
+// CostModel.CoresPerNode-way speedup.
+//
 // Quick start:
 //
 //	data, _ := pastis.GenerateScopeLike(50, 1)
@@ -73,8 +82,13 @@ const (
 )
 
 // DefaultConfig mirrors the paper's main configuration: k=6, BLOSUM62 with
-// gap open 11/extend 1, x-drop 49, ANI >= 30%, coverage >= 70%.
+// gap open 11/extend 1, x-drop 49, ANI >= 30%, coverage >= 70%, serial
+// within each rank (set Config.Threads for intra-rank parallelism).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultBatchSize is the alignment batch bound used when Config.BatchSize
+// is left zero.
+const DefaultBatchSize = core.DefaultBatchSize
 
 // DefaultCostModel returns the virtual-time constants used by the
 // reproduction (Cori-class latency/bandwidth/compute rates).

@@ -172,6 +172,34 @@ func BenchmarkAlignBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineBlocked measures the memory-bounded wave pipeline across
+// block counts: wall time of the simulation (ns/op) next to the virtual
+// total and the per-rank peak of live matrix bytes, so the trajectory of
+// the memory-vs-blocks tradeoff is tracked across PRs. The PSG is identical
+// for every block count by construction.
+func BenchmarkPipelineBlocked(b *testing.B) {
+	data, err := GenerateMetaclustLike(150, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, blocks := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("b%d", blocks), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.CommonKmerThreshold = 1
+			cfg.Threads = 4
+			cfg.Blocks = blocks
+			for i := 0; i < b.N; i++ {
+				res, err := BuildGraph(data.Records, 16, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.PeakBytes), "peak_bytes")
+				b.ReportMetric(res.Time*1e6, "virtual_total_us")
+			}
+		})
+	}
+}
+
 // BenchmarkBuildGraphEndToEnd measures the whole public-API path on a
 // small dataset (wall time of the simulation itself, not virtual time).
 func BenchmarkBuildGraphEndToEnd(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pastis -in proteins.fa -out graph.tsv -nodes 16 -subs 25 -align xd -threads 8
+//	pastis -in proteins.fa -out graph.tsv -nodes 16 -subs 25 -align xd -threads 8 -blocks 4
 //
 // The output is a tab-separated edge list: the names of the two sequences,
 // the edge weight, identity, coverage, normalized score and raw score.
@@ -34,6 +34,7 @@ func main() {
 		xdrop   = flag.Int("xdrop", 49, "x-drop value for seed extension")
 		threads = flag.Int("threads", 1, "intra-rank threads for SpGEMM and alignment (0 = all host cores)")
 		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
+		blocks  = flag.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)")
 		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func main() {
 	cfg.XDropValue = *xdrop
 	cfg.Threads = parallel.Resolve(*threads)
 	cfg.BatchSize = *batch
+	cfg.Blocks = *blocks
 	switch *alignFl {
 	case "xd":
 		cfg.Align = pastis.AlignXDrop
@@ -115,6 +117,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
 		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
 		fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)
+		fmt.Fprintf(os.Stderr, "peak bytes:     %d per rank (blocks=%d)\n", res.PeakBytes, *blocks)
 	}
 }
 

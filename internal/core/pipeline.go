@@ -4,20 +4,17 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/align"
 	"repro/internal/dmat"
 	"repro/internal/fasta"
 	"repro/internal/kmer"
 	"repro/internal/mpi"
-	"repro/internal/parallel"
-	"repro/internal/scoring"
-	"repro/internal/seqstore"
 	"repro/internal/spmat"
-	"repro/internal/subkmer"
 )
 
 // Section names, matching the component labels of the paper's dissection
-// plots (Fig. 15).
+// plots (Fig. 15). SectionWait covers every exposed asynchronous drain: the
+// overlapped sequence exchange and the wave pipeline's un-hidden local
+// work; it shrinks as more of both hide under communication.
 const (
 	SectionFasta = "fasta"
 	SectionFormA = "form A"
@@ -43,6 +40,12 @@ const (
 // owned must be the rank's consecutive run of records from the byte-balanced
 // FASTA partition (fasta.ParseChunk provides exactly that). Collective: all
 // ranks of comm must call Run with the same Config.
+//
+// The pipeline is organized as memory-bounded waves (stage_overlap.go +
+// wave.go): the candidate matrix streams through cfg.Blocks column panels,
+// and each panel's pruning, symmetrization and batched alignment overlap
+// the next panel's SUMMA stages. The similarity graph is bit-identical for
+// every Blocks × Threads × rank-count combination.
 func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
@@ -61,22 +64,16 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	}
 	clock.SetThreads(threads)
 	defer clock.SetThreads(1)
+	blocks := cfg.Blocks
+	if blocks < 1 {
+		blocks = 1
+	}
 	var stats Stats
 
 	// --- fasta read/process + launch the overlapped sequence exchange ---
-	var store *seqstore.Store
-	clock.StartSection(SectionFasta)
-	clock.IOBytes(fasta.TotalSeqBytes(owned))
-	store, err = seqstore.Exchange(grid, owned)
-	clock.EndSection()
+	store, err := stageInput(grid, owned, cfg)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.BlockingExchange {
-		clock.Section(SectionWait, func() { err = store.Wait() })
-		if err != nil {
-			return nil, err
-		}
 	}
 	n := store.Total
 
@@ -94,37 +91,22 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 
 	// --- k-mer frequency pre-filter (paper future work) ---
 	if cfg.MaxKmerFrequency > 0 {
-		clock.StartSection(SectionFormA)
-		counts := a.ColumnCounts()
-		maxFreq := int64(cfg.MaxKmerFrequency)
-		a = a.Prune(func(r, c spmat.Index, v int32) bool {
-			return counts[c] <= maxFreq
-		})
+		clock.Section(SectionFormA, func() { a = prefilterA(a, cfg) })
 		stats.NNZAFiltered = a.NNZ()
-		clock.EndSection()
 	} else {
 		stats.NNZAFiltered = stats.NNZA
 	}
 
 	// --- transpose A ---
-	var at *dmat.Mat[int32]
-	clock.Section(SectionTrA, func() { at = a.Transpose() })
+	ops := overlapOperands{a: a}
+	clock.Section(SectionTrA, func() { ops.at = a.Transpose() })
 
 	gemmOpts := dmat.DefaultSpGEMMOpts()
 	gemmOpts.UseHeapKernel = cfg.UseHeapKernel
 	gemmOpts.Threads = threads
 
-	// --- overlap detection: B = A·Aᵀ or (A·S)·Aᵀ ---
-	var b *dmat.Mat[Overlap]
-	if cfg.SubstituteKmers == 0 {
-		clock.StartSection(SectionB)
-		b, err = dmat.SpGEMM(a, at, ExactSemiring, OverlapCodec, gemmOpts)
-		clock.EndSection()
-		if err != nil {
-			return nil, err
-		}
-		stats.NNZB = b.NNZ()
-	} else {
+	// --- substitute k-mer expansion: S and AS (paper Section IV-C) ---
+	if cfg.SubstituteKmers > 0 {
 		var s *dmat.Mat[int32]
 		clock.StartSection(SectionFormS)
 		s, err = formS(grid, distinct, cfg, kmerSpace, &stats)
@@ -134,59 +116,35 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 		}
 		stats.NNZS = s.NNZ()
 
-		var as *dmat.Mat[PosDist]
 		clock.StartSection(SectionAS)
-		as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
+		ops.as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
 		clock.EndSection()
 		if err != nil {
 			return nil, err
 		}
-		stats.NNZAS = as.NNZ()
-
-		clock.StartSection(SectionB)
-		b, err = dmat.SpGEMM(as, at, SubstituteSemiring, OverlapCodec, gemmOpts)
-		clock.EndSection()
-		if err != nil {
-			return nil, err
-		}
-
-		// --- symmetrization: B = B ⊕ Bᵀ with seed positions swapped ---
-		clock.StartSection(SectionSym)
-		bt := b.Map(transposeOverlap).Transpose()
-		b, err = dmat.EWiseAdd(b, bt, MergeOverlap)
-		clock.EndSection()
-		if err != nil {
-			return nil, err
-		}
-		stats.NNZB = b.NNZ()
-	}
-
-	// --- complete the sequence exchange (the "wait" component) ---
-	if !cfg.BlockingExchange {
-		clock.Section(SectionWait, func() { err = store.Wait() })
-		if err != nil {
-			return nil, err
+		s.Release()
+		stats.NNZAS = ops.as.NNZ()
+		if blocks > 1 {
+			// (AS)ᵀ feeds the per-panel transpose contribution; building it
+			// is symmetrization work.
+			clock.Section(SectionSym, func() { ops.ast = ops.as.Transpose() })
 		}
 	}
 
-	// --- common k-mer threshold ---
-	pruned := b
-	if cfg.CommonKmerThreshold > 0 {
-		t := int32(cfg.CommonKmerThreshold)
-		pruned = b.Prune(func(r, c spmat.Index, v Overlap) bool { return v.Count > t })
+	// --- overlap detection + alignment, streamed as memory-bounded waves ---
+	w := newWave(grid, store, cfg)
+	if err := overlapPanels(ops, cfg, gemmOpts, blocks, w.yield); err != nil {
+		return nil, err
 	}
-	stats.NNZBPruned = pruned.NNZ()
+	if err := w.drain(); err != nil {
+		return nil, err
+	}
+	ops.release()
+	stats.NNZB = comm.AllreduceInt64("sum", w.nnzB)
+	stats.NNZBPruned = comm.AllreduceInt64("sum", w.nnzPruned)
+	stats.PairsAligned = w.aligned
 
-	// --- alignment + similarity filter ---
-	res := &Result{}
-	if cfg.Align != AlignNone {
-		clock.StartSection(SectionAlign)
-		res.Edges, err = alignBlock(grid, pruned, store, cfg, &stats)
-		clock.EndSection()
-		if err != nil {
-			return nil, err
-		}
-	}
+	res := &Result{Edges: w.edges}
 
 	// --- aggregate counters so every rank reports identical stats ---
 	stats.NumSeqs = int64(n)
@@ -207,252 +165,13 @@ func validate(cfg Config) error {
 	if cfg.MaxKmerFrequency < 0 {
 		return fmt.Errorf("core: negative k-mer frequency limit")
 	}
+	if cfg.Blocks < 0 {
+		return fmt.Errorf("core: negative block count")
+	}
 	if cfg.MinIdentity < 0 || cfg.MinIdentity > 1 || cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
 		return fmt.Errorf("core: identity/coverage thresholds must be fractions")
 	}
 	return nil
-}
-
-// formA extracts k-mers from the owned sequences and assembles the
-// distributed |seqs|×|k-mer space| position matrix (paper Section IV-A).
-func formA(g *dmat.Grid, store *seqstore.Store, cfg Config, kmerSpace spmat.Index,
-	stats *Stats) (*dmat.Mat[int32], map[kmer.ID]struct{}, error) {
-
-	clock := g.Comm.Clock()
-	distinct := make(map[kmer.ID]struct{})
-	var triples []spmat.Triple[int32]
-	firstPos := make(map[kmer.ID]int32)
-	for _, seq := range store.Owned {
-		kms := kmer.ExtractCodes(seq.Codes, cfg.K, true)
-		stats.KmersTotal += int64(len(kms))
-		clear(firstPos)
-		for _, km := range kms {
-			if _, dup := firstPos[km.ID]; !dup {
-				firstPos[km.ID] = int32(km.Pos)
-			}
-			distinct[km.ID] = struct{}{}
-		}
-		for id, pos := range firstPos {
-			triples = append(triples, spmat.Triple[int32]{
-				Row: seq.Global, Col: spmat.Index(id), Val: pos,
-			})
-		}
-	}
-	clock.Ops(float64(stats.KmersTotal) * opsPerKmer)
-	mat, err := dmat.NewFromTriples(g, store.Total, kmerSpace, triples, dmat.Int32Codec, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	return mat, distinct, nil
-}
-
-// formS generates the substitute k-mer matrix S: for every distinct k-mer in
-// the local data, its m nearest substitutes (plus itself at distance 0), so
-// S has at most m+1 nonzeros per row (paper Section IV-C).
-func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
-	kmerSpace spmat.Index, stats *Stats) (*dmat.Mat[int32], error) {
-
-	clock := g.Comm.Clock()
-	expense := scoring.NewExpense(scoring.BLOSUM62)
-	var triples []spmat.Triple[int32]
-	for id := range distinct {
-		nbrs, err := subkmer.FindCached(id, cfg.K, expense, cfg.SubstituteKmers)
-		if err != nil {
-			return nil, err
-		}
-		triples = append(triples, spmat.Triple[int32]{
-			Row: spmat.Index(id), Col: spmat.Index(id), Val: 0,
-		})
-		for _, nb := range nbrs {
-			triples = append(triples, spmat.Triple[int32]{
-				Row: spmat.Index(id), Col: spmat.Index(nb.ID), Val: int32(nb.Dist),
-			})
-		}
-	}
-	clock.Ops(float64(len(triples)) * opsPerSubNeighbor)
-	// The same k-mer row may be generated by several ranks; distances agree,
-	// so merging with min is a pure dedup.
-	return dmat.NewFromTriples(g, kmerSpace, kmerSpace, triples, dmat.Int32Codec,
-		func(x, y int32) int32 {
-			if y < x {
-				return y
-			}
-			return x
-		})
-}
-
-// alignBlock aligns the candidate pairs assigned to this rank by the
-// computation-to-data scheme (paper Fig. 11): each block computes its own
-// local upper triangle, block diagonals are taken by processes on or above
-// the grid diagonal, and the union covers every global pair exactly once.
-//
-// Pairs are aligned in bounded batches streamed onto the rank's worker pool
-// (the follow-up paper's batched hybrid design): each batch holds at most
-// cfg.BatchSize pairs, each worker reuses one set of DP buffers across all
-// its batches, and per-batch outputs merge in batch order — so the edge
-// list, stats and DP-cell count are bit-identical to a serial pass for any
-// thread count.
-func alignBlock(g *dmat.Grid, b *dmat.Mat[Overlap], store *seqstore.Store,
-	cfg Config, stats *Stats) ([]Edge, error) {
-
-	clock := g.Comm.Clock()
-	rowOff, colOff := b.RowOffset(), b.ColOffset()
-	onOrAboveDiag := g.MyRow <= g.MyCol
-
-	// Ownership filtering is cheap and serial; it yields the candidate list
-	// the batches are cut from.
-	var cands []spmat.Triple[Overlap]
-	for _, t := range b.Local.ToTriples() {
-		lr, lc := t.Row, t.Col
-		r, c := rowOff+lr, colOff+lc
-		if r == c {
-			continue // self pair
-		}
-		if cfg.NaiveTriangle {
-			// Strawman assignment: the global upper triangle is handled
-			// only by processes on or above the grid diagonal; the rest
-			// of the grid idles (paper Section V-D).
-			if !onOrAboveDiag || r > c {
-				continue
-			}
-		} else if lr > lc || (lr == lc && !onOrAboveDiag) {
-			continue // the mirrored block owns this pair
-		}
-		cands = append(cands, t)
-	}
-	if len(cands) == 0 {
-		return nil, nil
-	}
-
-	batch := cfg.BatchSize
-	if batch <= 0 {
-		batch = DefaultBatchSize
-	}
-	threads := cfg.Threads
-	if threads < 1 {
-		threads = 1
-	}
-	nbatches := (len(cands) + batch - 1) / batch
-
-	// Per-batch outputs, merged in batch order after the pool drains.
-	type batchOut struct {
-		edges   []Edge
-		aligned int64
-		cells   int64
-		err     error
-	}
-	outs := make([]batchOut, nbatches)
-	aligners := make([]*align.Aligner, parallel.Workers(threads)) // per-worker reusable DP buffers
-	parallel.ForChunks(threads, len(cands), nbatches, func(w, chunk, lo, hi int) {
-		al := aligners[w]
-		if al == nil {
-			al = align.NewAligner()
-			aligners[w] = al
-		}
-		out := &outs[chunk]
-		for _, t := range cands[lo:hi] {
-			edge, aligned, cells, err := alignPair(al, t, rowOff, colOff, store, cfg)
-			out.aligned += aligned
-			out.cells += cells
-			if err != nil {
-				out.err = err
-				return
-			}
-			if edge != nil {
-				out.edges = append(out.edges, *edge)
-			}
-		}
-	})
-
-	var edges []Edge
-	var cells int64
-	for i := range outs {
-		if outs[i].err != nil {
-			return nil, outs[i].err
-		}
-		edges = append(edges, outs[i].edges...)
-		stats.PairsAligned += outs[i].aligned
-		cells += outs[i].cells
-	}
-	clock.ParOps(float64(cells) * opsPerDPCell)
-	return edges, nil
-}
-
-// alignPair aligns one candidate pair on the given worker-local Aligner and
-// applies the similarity filter; edge is nil when the pair is filtered out.
-func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
-	store *seqstore.Store, cfg Config) (edge *Edge, aligned, cells int64, err error) {
-
-	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
-	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
-	r, c := rowOff+t.Row, colOff+t.Col
-	seqR, err := store.RowSeq(r)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	seqC, err := store.ColSeq(c)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	// Align in canonical orientation (lower global index first): mirror
-	// blocks see the pair transposed, and alignment tie-breaking is not
-	// orientation-symmetric, so this keeps the PSG bit-identical across
-	// process counts (the paper's reproducibility property).
-	aCodes, bCodes := seqR.Codes, seqC.Codes
-	swapped := r > c
-	if swapped {
-		aCodes, bCodes = bCodes, aCodes
-	}
-	var best align.Result
-	switch cfg.Align {
-	case AlignSW:
-		best = al.SmithWaterman(aCodes, bCodes, sc)
-		cells += best.Cells
-	case AlignXDrop:
-		ov := t.Val
-		for si := int32(0); si < ov.NumSeeds; si++ {
-			seed := ov.Seeds[si]
-			seedA, seedB := int(seed.PosR), int(seed.PosC)
-			if swapped {
-				seedA, seedB = seedB, seedA
-			}
-			res, err := al.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
-			if err != nil {
-				continue // seed fell off due to an inconsistent position
-			}
-			cells += res.Cells
-			if res.Score > best.Score {
-				best = res
-			}
-		}
-	}
-	aligned = 1
-
-	lenR, lenC := len(aCodes), len(bCodes)
-	ident := best.Identity()
-	cov := best.CoverageShorter(lenR, lenC)
-	ns := best.NormalizedScore(lenR, lenC)
-	var weight float64
-	switch cfg.Weight {
-	case WeightANI:
-		if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
-			return nil, aligned, cells, nil
-		}
-		weight = ident
-	case WeightNS:
-		if best.Score <= 0 {
-			return nil, aligned, cells, nil
-		}
-		weight = ns
-	}
-	lo, hi := r, c
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	return &Edge{
-		R: lo, C: hi, Weight: weight,
-		Ident: ident, Cov: cov, NS: ns, Score: best.Score,
-	}, aligned, cells, nil
 }
 
 // GatherEdges collects every rank's edges on rank 0 (nil elsewhere).

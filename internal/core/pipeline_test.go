@@ -237,6 +237,122 @@ func TestThreadsSpeedUpVirtualTime(t *testing.T) {
 	}
 }
 
+// The similarity graph must be identical for every wave count — the
+// memory-bounded blocked pipeline's determinism contract, across both the
+// exact path (streamed A·Aᵀ panels) and the substitute path (dual-product
+// symmetrization panels), crossed with intra-rank thread counts. Run with
+// -race to validate the wave/SUMMA overlap concurrency.
+func TestBlocksOblivious(t *testing.T) {
+	data := familyDataset(t, 5, 53)
+	for _, subs := range []int{0, 5} {
+		cfg := DefaultConfig()
+		cfg.SubstituteKmers = subs
+		cfg.CommonKmerThreshold = 1
+		var ref []Edge
+		var refStats Stats
+		for _, variant := range []struct{ blocks, threads int }{
+			{1, 1}, {2, 1}, {8, 1}, {1, 8}, {2, 8}, {8, 8}, {3, 2},
+		} {
+			cfg.Blocks = variant.blocks
+			cfg.Threads = variant.threads
+			edges, stats, _ := runPipeline(t, data.Records, 4, cfg)
+			if ref == nil {
+				ref, refStats = edges, stats
+				continue
+			}
+			if stats != refStats {
+				t.Fatalf("subs=%d blocks=%d threads=%d: stats %+v differ from reference %+v",
+					subs, variant.blocks, variant.threads, stats, refStats)
+			}
+			if len(edges) != len(ref) {
+				t.Fatalf("subs=%d blocks=%d threads=%d: %d edges vs %d",
+					subs, variant.blocks, variant.threads, len(edges), len(ref))
+			}
+			for i := range ref {
+				if edges[i] != ref[i] {
+					t.Fatalf("subs=%d blocks=%d threads=%d: edge %d differs: %+v vs %+v",
+						subs, variant.blocks, variant.threads, i, edges[i], ref[i])
+				}
+			}
+		}
+		if len(ref) == 0 {
+			t.Fatalf("subs=%d: no edges to compare", subs)
+		}
+	}
+}
+
+// More waves must mean a lower per-rank memory high-water mark: the whole
+// point of the blocked pipeline. Virtual runtime must stay close to the
+// single-wave run (the trade is memory for a little broadcast volume, and
+// waves win back time by hiding alignment under the next panel's SUMMA).
+// The dataset uses large families so the candidate matrix B dominates
+// memory, the paper's production regime (B is quadratic in similar pairs);
+// the substitute path is exercised for peaks not regressing — its panels
+// share the run with the constant-size AS/(AS)ᵀ operands, which dominate at
+// unit-test scale.
+func TestWaveMemoryBounded(t *testing.T) {
+	data, err := synth.Generate(synth.Config{
+		Seed: 59, NumFamilies: 2, MembersMean: 45, Singletons: 8,
+		MinLen: 120, MaxLen: 250, Divergence: 0.12, IndelRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-dominated regime (the scale trick TestThreadsSpeedUpVirtualTime
+	// uses): at nominal rates the tiny dataset is latency-bound and the
+	// panel broadcast overhead would be magnified far beyond the paper's.
+	model := mpi.DefaultCostModel()
+	model.ComputeRate = 4e7
+	run := func(cfg Config) *mpi.Cluster {
+		cl := mpi.NewCluster(4, model)
+		err := cl.Run(func(c *mpi.Comm) error {
+			n := len(data.Records)
+			lo, hi := n*c.Rank()/4, n*(c.Rank()+1)/4
+			_, err := Run(c, data.Records[lo:hi], cfg)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	cfg := DefaultConfig()
+	cfg.CommonKmerThreshold = 1
+	var prevPeak int64
+	var baseTime float64
+	for i, blocks := range []int{1, 2, 4, 8} {
+		cfg.Blocks = blocks
+		cl := run(cfg)
+		peak := cl.PeakBytes()
+		if peak <= 0 {
+			t.Fatalf("blocks=%d: no peak recorded", blocks)
+		}
+		if i == 0 {
+			baseTime = cl.MaxTime()
+		} else if peak >= prevPeak {
+			t.Errorf("peak bytes did not decrease: blocks=%d peak=%d vs previous %d",
+				blocks, peak, prevPeak)
+		}
+		if tm := cl.MaxTime(); tm > baseTime*1.15 {
+			t.Errorf("blocks=%d: virtual time %g exceeds 1.15x single-wave %g",
+				blocks, tm, baseTime)
+		}
+		prevPeak = peak
+	}
+
+	// Substitute path: the dual-product symmetrization panels must not let
+	// peak memory regress past the single-wave run by more than the (AS)ᵀ
+	// operand it adds.
+	cfg.SubstituteKmers = 5
+	cfg.Blocks = 1
+	base := run(cfg)
+	cfg.Blocks = 8
+	waved := run(cfg)
+	if p, b := waved.PeakBytes(), base.PeakBytes(); p > b+b/4 {
+		t.Errorf("substitute path: 8-wave peak %d far above single-wave %d", p, b)
+	}
+}
+
 // Substitute k-mers must strictly widen the candidate space (more pairs
 // aligned) and not lose exact-match candidates: the paper's recall argument.
 func TestSubstituteKmersIncreaseCandidates(t *testing.T) {

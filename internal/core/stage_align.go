@@ -1,0 +1,254 @@
+package core
+
+import (
+	"repro/internal/align"
+	"repro/internal/dmat"
+	"repro/internal/parallel"
+	"repro/internal/scoring"
+	"repro/internal/seqstore"
+	"repro/internal/spmat"
+)
+
+// Virtual-cost constants for the panel-local passes, shared with the dmat
+// layer so the off-clock lane charges the same rates the main-lane ops
+// would (dmat.BuildOps per merged nonzero, dmat.VisitOps per elementwise
+// visit). The panel task runs off the rank's critical path, so it tallies
+// work instead of touching the clock; the wave driver converts the tallies
+// to lane seconds.
+const (
+	opsPerMergedNNZ = dmat.BuildOps
+	opsPerVisitNNZ  = dmat.VisitOps
+)
+
+// panelResult is everything one wave's local work produces. err aborts the
+// run; the tallies feed the wave driver's overlap lane and memory ledger.
+type panelResult struct {
+	edges     []Edge
+	aligned   int64 // pairs aligned in this panel
+	cells     int64 // DP cells computed
+	nnzB      int64 // local nonzeros of the (symmetrized) panel
+	nnzPruned int64 // after the common-k-mer prune
+	serialOps float64
+	parOps    float64
+	scratch   int64 // transient bytes the task materialized
+	err       error
+}
+
+// processPanel is the per-wave local stage: merge the transpose
+// contribution (multi-wave substitute path), apply the common-k-mer prune,
+// and align the panel's candidate pairs in bounded batches on the worker
+// pool. It runs on a background goroutine while the next panel's SUMMA
+// stages proceed, so it must not touch the rank clock or any distributed
+// state: inputs are read-only and all accounting is returned as tallies.
+// Output is deterministic — batch boundaries depend only on the candidate
+// count, and batches merge in order — so the edge list is bit-identical for
+// any thread count and any wave count.
+func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config) panelResult {
+	var res panelResult
+	local := bp.Local
+	if btp != nil {
+		bt := spmat.Apply(btp.Local, func(r, c spmat.Index, v Overlap) Overlap {
+			return transposeOverlap(v)
+		})
+		res.parOps += float64(btp.Local.NNZ()) * opsPerVisitNNZ
+		merged, err := spmat.EWiseAdd(local, bt, MergeOverlap)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.serialOps += float64(merged.NNZ()) * opsPerMergedNNZ
+		res.scratch += bt.Bytes() + merged.Bytes()
+		local = merged
+	}
+	res.nnzB = int64(local.NNZ())
+
+	pruned := local
+	if cfg.CommonKmerThreshold > 0 {
+		t := int32(cfg.CommonKmerThreshold)
+		pruned = local.Prune(func(r, c spmat.Index, v Overlap) bool { return v.Count > t })
+		res.parOps += float64(local.NNZ()) * opsPerVisitNNZ
+		res.scratch += pruned.Bytes()
+	}
+	res.nnzPruned = int64(pruned.NNZ())
+	if cfg.Align == AlignNone {
+		return res
+	}
+
+	edges, aligned, cells, err := alignPanel(bp.Grid, pruned, bp.RowOffset(), bp.ColOffset(), store, cfg)
+	res.edges, res.aligned, res.cells, res.err = edges, aligned, cells, err
+	res.parOps += float64(cells) * opsPerDPCell
+	return res
+}
+
+// alignPanel aligns the candidate pairs of one panel assigned to this rank
+// by the computation-to-data scheme (paper Fig. 11): each block computes its
+// own local upper triangle, block diagonals are taken by processes on or
+// above the grid diagonal, and the union covers every global pair exactly
+// once. Panels partition the local columns, so per-panel candidate lists
+// concatenate — in panel order — to exactly the monolithic candidate list.
+//
+// Pairs are aligned in bounded batches streamed onto a worker pool (the
+// follow-up paper's batched hybrid design): each batch holds at most
+// cfg.BatchSize pairs, each worker reuses one set of DP buffers across all
+// its batches, and per-batch outputs merge in batch order — so the edge
+// list, counters and DP-cell count are bit-identical to a serial pass for
+// any thread count.
+func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index,
+	store *seqstore.Store, cfg Config) ([]Edge, int64, int64, error) {
+
+	onOrAboveDiag := g.MyRow <= g.MyCol
+
+	// Ownership filtering is cheap and serial; it yields the candidate list
+	// the batches are cut from.
+	var cands []spmat.Triple[Overlap]
+	for _, t := range b.ToTriples() {
+		lr, lc := t.Row, t.Col
+		r, c := rowOff+lr, colOff+lc
+		if r == c {
+			continue // self pair
+		}
+		if cfg.NaiveTriangle {
+			// Strawman assignment: the global upper triangle is handled
+			// only by processes on or above the grid diagonal; the rest
+			// of the grid idles (paper Section V-D).
+			if !onOrAboveDiag || r > c {
+				continue
+			}
+		} else if lr > lc || (lr == lc && !onOrAboveDiag) {
+			continue // the mirrored block owns this pair
+		}
+		cands = append(cands, t)
+	}
+	if len(cands) == 0 {
+		return nil, 0, 0, nil
+	}
+
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1 // the documented contract: <= 1 runs serially
+	}
+	nbatches := (len(cands) + batch - 1) / batch
+
+	// Per-batch outputs, merged in batch order after the pool drains.
+	type batchOut struct {
+		edges   []Edge
+		aligned int64
+		cells   int64
+		err     error
+	}
+	outs := make([]batchOut, nbatches)
+	aligners := make([]*align.Aligner, parallel.Workers(threads)) // per-worker reusable DP buffers
+	parallel.ForChunks(threads, len(cands), nbatches, func(w, chunk, lo, hi int) {
+		al := aligners[w]
+		if al == nil {
+			al = align.NewAligner()
+			aligners[w] = al
+		}
+		out := &outs[chunk]
+		for _, t := range cands[lo:hi] {
+			edge, aligned, cells, err := alignPair(al, t, rowOff, colOff, store, cfg)
+			out.aligned += aligned
+			out.cells += cells
+			if err != nil {
+				out.err = err
+				return
+			}
+			if edge != nil {
+				out.edges = append(out.edges, *edge)
+			}
+		}
+	})
+
+	var edges []Edge
+	var aligned, cells int64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, 0, 0, outs[i].err
+		}
+		edges = append(edges, outs[i].edges...)
+		aligned += outs[i].aligned
+		cells += outs[i].cells
+	}
+	return edges, aligned, cells, nil
+}
+
+// alignPair aligns one candidate pair on the given worker-local Aligner and
+// applies the similarity filter; edge is nil when the pair is filtered out.
+func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
+	store *seqstore.Store, cfg Config) (edge *Edge, aligned, cells int64, err error) {
+
+	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
+	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
+	r, c := rowOff+t.Row, colOff+t.Col
+	seqR, err := store.RowSeq(r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	seqC, err := store.ColSeq(c)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Align in canonical orientation (lower global index first): mirror
+	// blocks see the pair transposed, and alignment tie-breaking is not
+	// orientation-symmetric, so this keeps the PSG bit-identical across
+	// process counts (the paper's reproducibility property).
+	aCodes, bCodes := seqR.Codes, seqC.Codes
+	swapped := r > c
+	if swapped {
+		aCodes, bCodes = bCodes, aCodes
+	}
+	var best align.Result
+	switch cfg.Align {
+	case AlignSW:
+		best = al.SmithWaterman(aCodes, bCodes, sc)
+		cells += best.Cells
+	case AlignXDrop:
+		ov := t.Val
+		for si := int32(0); si < ov.NumSeeds; si++ {
+			seed := ov.Seeds[si]
+			seedA, seedB := int(seed.PosR), int(seed.PosC)
+			if swapped {
+				seedA, seedB = seedB, seedA
+			}
+			res, err := al.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
+			if err != nil {
+				continue // seed fell off due to an inconsistent position
+			}
+			cells += res.Cells
+			if res.Score > best.Score {
+				best = res
+			}
+		}
+	}
+	aligned = 1
+
+	lenR, lenC := len(aCodes), len(bCodes)
+	ident := best.Identity()
+	cov := best.CoverageShorter(lenR, lenC)
+	ns := best.NormalizedScore(lenR, lenC)
+	var weight float64
+	switch cfg.Weight {
+	case WeightANI:
+		if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
+			return nil, aligned, cells, nil
+		}
+		weight = ident
+	case WeightNS:
+		if best.Score <= 0 {
+			return nil, aligned, cells, nil
+		}
+		weight = ns
+	}
+	lo, hi := r, c
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return &Edge{
+		R: lo, C: hi, Weight: weight,
+		Ident: ident, Cov: cov, NS: ns, Score: best.Score,
+	}, aligned, cells, nil
+}

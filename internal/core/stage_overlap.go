@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/dmat"
+	"repro/internal/spmat"
+)
+
+// overlapOperands holds the distributed matrices the overlap stage multiplies.
+// as and ast are nil in exact mode; ast (the transposed AS) is built only
+// when the substitute path runs more than one wave.
+type overlapOperands struct {
+	a   *dmat.Mat[int32]
+	at  *dmat.Mat[int32]
+	as  *dmat.Mat[PosDist]
+	ast *dmat.Mat[PosDist]
+}
+
+// release frees every operand once the wave loop has consumed all panels.
+func (o *overlapOperands) release() {
+	o.a.Release()
+	o.at.Release()
+	if o.as != nil {
+		o.as.Release()
+	}
+	if o.ast != nil {
+		o.ast.Release()
+	}
+}
+
+// overlapPanels streams the candidate matrix B = A·Aᵀ (exact) or the
+// symmetrization-ready pair for B = (AS)·Aᵀ (substitute) in `blocks` column
+// panels, invoking yield as each panel's SUMMA stages complete. yield
+// receives this rank's block-local panel column bounds and the B panel
+// plus, on the multi-wave substitute path, the matching column panel of Bᵀ
+// (still in B[j,i] orientation; the align stage applies transposeOverlap
+// before merging). Every panel is bit-identical to
+// the corresponding column slice of the monolithic computation.
+//
+// Cost shape: each wave re-broadcasts A's block columns (the follow-up
+// paper's memory-for-broadcast trade). The single-wave substitute path
+// keeps the SC20 transpose-based symmetrization, which is cheaper than the
+// dual product when the whole matrix is resident anyway; multi-wave runs
+// compute Bᵀ panels directly as A·(AS)ᵀ because a column panel of Bᵀ is not
+// a slice of B's column panels.
+func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, blocks int,
+	yield func(panel int, colLo, colHi spmat.Index, bp, btp *dmat.Mat[Overlap]) error) error {
+
+	clock := ops.a.Grid.Comm.Clock()
+	if cfg.SubstituteKmers == 0 {
+		// Exact matching: one streaming SUMMA over A·Aᵀ. The section is
+		// closed across yields so pipeline bookkeeping (collecting the
+		// previous wave, launching this one) is not billed as SpGEMM time.
+		clock.StartSection(SectionB)
+		err := dmat.SpGEMMBlocked(ops.a, ops.at, ExactSemiring, OverlapCodec, gemmOpts, blocks,
+			func(panel int, lo, hi spmat.Index, p *dmat.Mat[Overlap]) error {
+				clock.EndSection()
+				err := yield(panel, lo, hi, p, nil)
+				clock.StartSection(SectionB)
+				return err
+			})
+		clock.EndSection()
+		return err
+	}
+
+	if blocks <= 1 {
+		// Single wave: monolithic product plus the SC20 transpose-based
+		// symmetrization B ⊕ Bᵀ with seed positions swapped.
+		var b *dmat.Mat[Overlap]
+		var err error
+		clock.Section(SectionB, func() {
+			b, err = dmat.SpGEMM(ops.as, ops.at, SubstituteSemiring, OverlapCodec, gemmOpts)
+		})
+		if err != nil {
+			return err
+		}
+		var sym *dmat.Mat[Overlap]
+		clock.Section(SectionSym, func() {
+			mapped := b.Map(transposeOverlap)
+			bt := mapped.Transpose()
+			mapped.Release()
+			sym, err = dmat.EWiseAdd(b, bt, MergeOverlap)
+			bt.Release()
+			b.Release()
+		})
+		if err != nil {
+			return err
+		}
+		return yield(0, 0, sym.Local.NumCols, sym, nil)
+	}
+
+	for k := 0; k < blocks; k++ {
+		lo, hi := ops.at.PanelRange(blocks, k)
+		var bp, btp *dmat.Mat[Overlap]
+		var err error
+		clock.Section(SectionB, func() {
+			bp, err = dmat.SpGEMMPanel(ops.as, ops.at, SubstituteSemiring, OverlapCodec,
+				gemmOpts, blocks, k)
+		})
+		if err != nil {
+			return err
+		}
+		// The transpose contribution is symmetrization work (Fig. 15 "sym.").
+		// ast's blocks have the same local widths as at's, so panel k of
+		// A·(AS)ᵀ covers exactly bp's local columns.
+		clock.Section(SectionSym, func() {
+			btp, err = dmat.SpGEMMPanel(ops.a, ops.ast, btSemiring, OverlapCodec,
+				gemmOpts, blocks, k)
+		})
+		if err != nil {
+			return err
+		}
+		if err := yield(k, lo, hi, bp, btp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -96,6 +96,16 @@ type Config struct {
 	// <= 0 selects DefaultBatchSize.
 	BatchSize int
 
+	// Blocks partitions the overlap computation into this many column
+	// panels, processed as memory-bounded waves (the extreme-scale
+	// follow-up's blocked pipeline, arXiv:2303.01845): panel i's pruning,
+	// symmetrization and alignment run on the worker pool while panel i+1's
+	// SUMMA stages proceed. Peak per-rank memory shrinks roughly with the
+	// wave count at the price of re-broadcasting A's blocks once per wave;
+	// the similarity graph is bit-identical for every value. <= 1 computes
+	// the candidate matrix in a single wave (the SC20 shape).
+	Blocks int
+
 	// UseHeapKernel switches the local SpGEMM kernel (ablation).
 	UseHeapKernel bool
 	// BlockingExchange disables communication/computation overlap: the
@@ -229,6 +239,23 @@ var ASSemiring = spmat.Semiring[int32, int32, PosDist]{
 // position carries its substitution distance into the seed.
 var SubstituteSemiring = spmat.Semiring[PosDist, int32, Overlap]{
 	Multiply: func(pd PosDist, posC int32) Overlap {
+		return Overlap{Count: 1, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: pd.Pos, PosC: posC, Dist: pd.Dist}}}
+	},
+	Add: MergeOverlap,
+}
+
+// btSemiring computes the symmetrization contribution for the blocked
+// substitute path. A column panel of Bᵀ cannot be sliced out of B's column
+// panels (it would need a full row panel), but it IS a column panel of the
+// product A·(AS)ᵀ: entry (i,j) accumulates exactly the contribution
+// multiset of B[j,i] — Multiply(A[i,k], (AS)[j,k]) below builds the seed in
+// B[j,i]'s orientation (PosR on sequence j, PosC on sequence i) — and
+// MergeOverlap is order-independent (count sum plus min-2-distinct seeds),
+// so the panel equals B[j,i] bitwise. Applying transposeOverlap to the
+// result then reproduces the monolithic Map(transposeOverlap).Transpose()
+// panel exactly.
+var btSemiring = spmat.Semiring[int32, PosDist, Overlap]{
+	Multiply: func(posC int32, pd PosDist) Overlap {
 		return Overlap{Count: 1, NumSeeds: 1, Seeds: [2]SeedPos{{PosR: pd.Pos, PosC: posC, Dist: pd.Dist}}}
 	},
 	Add: MergeOverlap,

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"repro/internal/mpi"
 	"repro/internal/spmat"
@@ -116,9 +117,40 @@ func (m *Mat[T]) ColOffset() spmat.Index {
 	return lo
 }
 
-// buildOps is the charged cost (generic ops) per triple during sorts,
-// shuffles and merges.
-const buildOps = 12
+// LocalBytes estimates the in-memory footprint of this rank's block; it is
+// the unit the clock's live-bytes ledger (AllocBytes/FreeBytes) tracks.
+// Zero after Release.
+func (m *Mat[T]) LocalBytes() int64 {
+	if m.Local == nil {
+		return 0
+	}
+	return m.Local.Bytes()
+}
+
+// Release returns the block's bytes to the clock's live-bytes ledger and
+// drops the local arrays so Go can reclaim them. Idempotent; the matrix
+// must not be used otherwise afterwards (Local is nil). Callers on the
+// wave pipeline release each panel as soon as its alignment drains, which
+// is what bounds peak memory.
+func (m *Mat[T]) Release() {
+	if m.Local == nil {
+		return
+	}
+	m.Grid.Comm.Clock().FreeBytes(m.LocalBytes())
+	m.Local = nil
+}
+
+// BuildOps is the charged cost (generic ops) per triple during sorts,
+// shuffles and merges, and VisitOps per nonzero for elementwise passes.
+// Exported because the wave pipeline's off-clock lane (internal/core)
+// tallies the same operations and must charge the same rates.
+const (
+	BuildOps = 12
+	VisitOps = 2
+)
+
+// buildOps keeps the historical name inside this package.
+const buildOps = BuildOps
 
 // NewFromTriples builds a distributed matrix from triples scattered across
 // ranks with arbitrary global indices: one Alltoallv routes each triple to
@@ -164,6 +196,7 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 		return nil, err
 	}
 	m.Local = loc
+	clock.AllocBytes(m.LocalBytes())
 	return m, nil
 }
 
@@ -280,9 +313,53 @@ func DefaultSpGEMMOpts() SpGEMMOpts { return SpGEMMOpts{FlopOps: 8} }
 // SpGEMM computes C = A·B over semiring sr with 2D Sparse SUMMA: q stages,
 // each broadcasting one block column of A along grid rows and one block row
 // of B along grid columns, followed by a local semiring multiply; stage
-// products merge with sr.Add. Collective over the grid.
+// products merge with sr.Add. Collective over the grid. Implemented as the
+// full-width special case of the panel engine.
 func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	codecC Codec[C], opts SpGEMMOpts) (*Mat[C], error) {
+	return spGEMMCols(a, b, sr, codecC, opts, 0, b.Local.NumCols)
+}
+
+// PanelRange returns the half-open block-local column range of panel k of
+// `blocks` within this rank's block: every block column of the grid splits
+// its own width uniformly (ceiling-based, like BlockRange). Panels are
+// therefore unions of per-block slices rather than globally contiguous
+// column ranges — the decomposition the extreme-scale follow-up paper's
+// batched pipeline uses, because it keeps every wave's multiply work spread
+// across the whole grid (a contiguous global range with blocks >= q would
+// land each wave on a single grid column and serialize the idle time).
+func (m *Mat[T]) PanelRange(blocks, k int) (lo, hi spmat.Index) {
+	return BlockRange(m.Local.NumCols, blocks, k)
+}
+
+// SpGEMMPanel computes panel k of `blocks` of C = A·B: on every rank, the
+// output columns b.PanelRange(blocks, k) of its block. The SUMMA stage
+// structure is exactly SpGEMM's with each broadcast block row of B sliced
+// to the panel (spmat.ColRange); SUMMA over a column slice of B is SUMMA of
+// the sliced operand. The result keeps the full distributed shape with
+// nonzeros only in the panel, so per-rank panels taken at k = 0..blocks-1
+// concatenate to precisely the monolithic product — the invariant that
+// makes the blocked wave pipeline bit-identical to the one-shot one. A's
+// block columns are re-broadcast for every panel; that extra broadcast
+// volume, traded for the smaller live output, is the knob the memory-
+// bounded pipeline turns. Collective over the grid.
+func SpGEMMPanel[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
+	codecC Codec[C], opts SpGEMMOpts, blocks, k int) (*Mat[C], error) {
+
+	if blocks < 1 || k < 0 || k >= blocks {
+		return nil, fmt.Errorf("dmat: SpGEMM panel %d of %d", k, blocks)
+	}
+	lo, hi := b.PanelRange(blocks, k)
+	return spGEMMCols(a, b, sr, codecC, opts, lo, hi)
+}
+
+// spGEMMCols is the SUMMA engine behind SpGEMM and SpGEMMPanel: it computes
+// the output columns covered by the block-local range [localLo, localHi) of
+// B's columns (clamped to the block width; the range must be the same on
+// every rank of each grid column, which both callers guarantee by deriving
+// it from the block width alone).
+func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
+	codecC Codec[C], opts SpGEMMOpts, localLo, localHi spmat.Index) (*Mat[C], error) {
 
 	if a.Grid != b.Grid {
 		return nil, fmt.Errorf("dmat: SpGEMM operands on different grids")
@@ -295,8 +372,13 @@ func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	if opts.FlopOps <= 0 {
 		opts.FlopOps = 8
 	}
+	localLo = clampIndex(localLo, 0, b.Local.NumCols)
+	localHi = clampIndex(localHi, localLo, b.Local.NumCols)
 
+	var tripleC spmat.Triple[C]
+	tripleBytes := int64(unsafe.Sizeof(tripleC))
 	var accum []spmat.Triple[C]
+	var accumBytes int64
 	for s := 0; s < g.Q; s++ {
 		// Broadcast A's block column s along each grid row.
 		var aPayload []byte
@@ -308,16 +390,20 @@ func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 		if err != nil {
 			return nil, fmt.Errorf("dmat: stage %d decode A: %w", s, err)
 		}
-		// Broadcast B's block row s along each grid column.
+		// Broadcast B's block row s, restricted to the panel, along each
+		// grid column. Over the full range the slice is the whole block, so
+		// SpGEMM's communication volume is unchanged.
 		var bPayload []byte
 		if g.MyRow == s {
-			bPayload = encodeBlock(b.Local, b.codec)
+			bPayload = encodeBlock(b.Local.ColRange(localLo, localHi), b.codec)
 		}
 		bPayload = g.ColComm.Bcast(s, bPayload)
 		bBlk, err := decodeBlock(bPayload, b.codec)
 		if err != nil {
 			return nil, fmt.Errorf("dmat: stage %d decode B: %w", s, err)
 		}
+		transient := aBlk.Bytes() + bBlk.Bytes()
+		clock.AllocBytes(transient)
 
 		prod, stats, err := spmat.SpGEMM(aBlk, bBlk, sr,
 			spmat.SpGEMMOpts{UseHeap: opts.UseHeapKernel, Threads: opts.Threads})
@@ -326,6 +412,9 @@ func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 		}
 		clock.ParOps(float64(stats.Flops) * opts.FlopOps)
 		accum = append(accum, prod.ToTriples()...)
+		clock.AllocBytes(int64(prod.NNZ()) * tripleBytes)
+		accumBytes += int64(prod.NNZ()) * tripleBytes
+		clock.FreeBytes(transient)
 	}
 	// The stage-product multiway merge is threaded in the modeled
 	// implementation (CombBLAS's hybrid SpGEMM), so its cost parallelizes
@@ -338,16 +427,60 @@ func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	if err != nil {
 		return nil, err
 	}
-	return &Mat[C]{Grid: g, Rows: a.Rows, Cols: b.Cols, Local: local, codec: codecC}, nil
+	clock.FreeBytes(accumBytes)
+	m := &Mat[C]{Grid: g, Rows: a.Rows, Cols: b.Cols, Local: local, codec: codecC}
+	clock.AllocBytes(m.LocalBytes())
+	return m, nil
+}
+
+// SpGEMMBlocked streams C = A·B as `blocks` column panels: panel k covers,
+// on every rank, the output columns b.PanelRange(blocks, k) of its block,
+// and is handed to yield as soon as its q SUMMA stages finish, before panel
+// k+1's stages begin. Peak memory holds one panel (plus whatever yield
+// retains) instead of the whole product; panels are bit-identical to the
+// matching column slice of the monolithic SpGEMM. yield returning an error
+// aborts the remaining panels. Collective over the grid: every rank sees
+// the same panel sequence, and yield may itself perform collectives. The
+// colLo/colHi passed to yield are this rank's block-local panel bounds.
+func SpGEMMBlocked[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
+	codecC Codec[C], opts SpGEMMOpts, blocks int,
+	yield func(panel int, colLo, colHi spmat.Index, p *Mat[C]) error) error {
+
+	if blocks < 1 {
+		blocks = 1
+	}
+	for k := 0; k < blocks; k++ {
+		lo, hi := b.PanelRange(blocks, k)
+		p, err := SpGEMMPanel(a, b, sr, codecC, opts, blocks, k)
+		if err != nil {
+			return err
+		}
+		if err := yield(k, lo, hi, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clampIndex(x, lo, hi spmat.Index) spmat.Index {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
 }
 
 // Transpose returns Aᵀ: each block transposes locally and moves to its
-// mirrored grid position via one all-to-all. Collective.
+// mirrored grid position via one all-to-all. Collective. The local
+// transpose is an elementwise pass and parallelizes with the rank's
+// declared threads, matching the SpGEMM/align charging convention.
 func (m *Mat[T]) Transpose() *Mat[T] {
 	g := m.Grid
 	clock := g.Comm.Clock()
 	tBlock := m.Local.Transpose()
-	clock.Ops(float64(m.Local.NNZ()) * buildOps)
+	clock.ParOps(float64(m.Local.NNZ()) * buildOps)
 
 	partner := g.RankOf(g.MyCol, g.MyRow)
 	bufs := make([][]byte, g.Comm.Size())
@@ -358,7 +491,9 @@ func (m *Mat[T]) Transpose() *Mat[T] {
 	if err != nil {
 		panic(fmt.Sprintf("dmat: transpose decode: %v", err)) // our own encoding
 	}
-	return &Mat[T]{Grid: g, Rows: m.Cols, Cols: m.Rows, Local: local, codec: m.codec}
+	out := &Mat[T]{Grid: g, Rows: m.Cols, Cols: m.Rows, Local: local, codec: m.codec}
+	clock.AllocBytes(out.LocalBytes())
+	return out
 }
 
 // EWiseAdd merges two identically-shaped distributed matrices block-wise.
@@ -370,8 +505,11 @@ func EWiseAdd[T any](a, b *Mat[T], add func(T, T) T) (*Mat[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	a.Grid.Comm.Clock().Ops(float64(local.NNZ()) * buildOps)
-	return &Mat[T]{Grid: a.Grid, Rows: a.Rows, Cols: a.Cols, Local: local, codec: a.codec}, nil
+	clock := a.Grid.Comm.Clock()
+	clock.Ops(float64(local.NNZ()) * buildOps)
+	out := &Mat[T]{Grid: a.Grid, Rows: a.Rows, Cols: a.Cols, Local: local, codec: a.codec}
+	clock.AllocBytes(out.LocalBytes())
+	return out, nil
 }
 
 // Symmetrize returns A + Aᵀ for a square matrix: the distributed
@@ -423,11 +561,11 @@ func sortIndices(xs []spmat.Index) {
 }
 
 // Map returns a copy with f applied to every stored value, preserving
-// structure and codec.
+// structure and codec. Elementwise passes parallelize with the rank's
+// declared threads (ParOps), the same convention SpGEMM and alignment use.
 func (m *Mat[T]) Map(f func(T) T) *Mat[T] {
 	local := spmat.Apply(m.Local, func(r, c spmat.Index, v T) T { return f(v) })
-	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
-	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+	return m.derived(local, VisitOps)
 }
 
 // Map2 is Map with access to the global indices.
@@ -436,8 +574,7 @@ func (m *Mat[T]) Map2(f func(row, col spmat.Index, v T) T) *Mat[T] {
 	local := spmat.Apply(m.Local, func(r, c spmat.Index, v T) T {
 		return f(r+rowOff, c+colOff, v)
 	})
-	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
-	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+	return m.derived(local, VisitOps)
 }
 
 // Prune filters nonzeros locally with the predicate on global indices.
@@ -446,8 +583,17 @@ func (m *Mat[T]) Prune(keep func(row, col spmat.Index, v T) bool) *Mat[T] {
 	local := m.Local.Prune(func(r, c spmat.Index, v T) bool {
 		return keep(r+rowOff, c+colOff, v)
 	})
-	m.Grid.Comm.Clock().Ops(float64(m.Local.NNZ()) * 2)
-	return &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+	return m.derived(local, VisitOps)
+}
+
+// derived wraps an elementwise-derived local block: ParOps-charged at
+// opsPerNNZ per source nonzero and alloc-tracked like every constructor.
+func (m *Mat[T]) derived(local *spmat.DCSC[T], opsPerNNZ float64) *Mat[T] {
+	clock := m.Grid.Comm.Clock()
+	clock.ParOps(float64(m.Local.NNZ()) * opsPerNNZ)
+	out := &Mat[T]{Grid: m.Grid, Rows: m.Rows, Cols: m.Cols, Local: local, codec: m.codec}
+	clock.AllocBytes(out.LocalBytes())
+	return out
 }
 
 func appendU64(dst []byte, v uint64) []byte {

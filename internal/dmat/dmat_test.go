@@ -438,3 +438,127 @@ func TestMap2GlobalIndices(t *testing.T) {
 		return nil
 	})
 }
+
+// Panels of the blocked SUMMA must concatenate — per rank, in panel order —
+// to exactly the monolithic product, for both local kernels, several grid
+// sizes and block counts (including blocks exceeding the block width). Each
+// panel must also equal the matching ColRange slice of the monolithic local
+// block bit-for-bit.
+func TestSpGEMMBlockedMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, k, mcols := spmat.Index(37), spmat.Index(50), spmat.Index(23)
+	aT := randomTriples(rng, n, k, 260)
+	bT := randomTriples(rng, k, mcols, 260)
+
+	for _, p := range []int{1, 4, 9} {
+		for _, heap := range []bool{false, true} {
+			for _, blocks := range []int{1, 2, 3, 8, 64} {
+				runGrid(t, p, func(g *Grid) error {
+					a, err := NewFromTriples(g, n, k, scatter(aT, g.Comm.Rank(), p), Float64Codec, nil)
+					if err != nil {
+						return err
+					}
+					b, err := NewFromTriples(g, k, mcols, scatter(bT, g.Comm.Rank(), p), Float64Codec, nil)
+					if err != nil {
+						return err
+					}
+					opts := DefaultSpGEMMOpts()
+					opts.UseHeapKernel = heap
+					mono, err := SpGEMM(a, b, spmat.Arithmetic, Float64Codec, opts)
+					if err != nil {
+						return err
+					}
+					var concat []spmat.Triple[float64]
+					panels := 0
+					err = SpGEMMBlocked(a, b, spmat.Arithmetic, Float64Codec, opts, blocks,
+						func(panel int, lo, hi spmat.Index, pm *Mat[float64]) error {
+							if panel != panels {
+								return fmt.Errorf("panel %d out of order (want %d)", panel, panels)
+							}
+							panels++
+							want := mono.Local.ColRange(lo, hi)
+							if !spmat.Equal(pm.Local, want, func(x, y float64) bool { return x == y }) {
+								return fmt.Errorf("p=%d heap=%v blocks=%d panel %d [%d,%d): differs from monolithic slice",
+									p, heap, blocks, panel, lo, hi)
+							}
+							concat = append(concat, pm.Local.ToTriples()...)
+							return nil
+						})
+					if err != nil {
+						return err
+					}
+					if panels != max(1, blocks) {
+						return fmt.Errorf("saw %d panels, want %d", panels, blocks)
+					}
+					want := mono.Local.ToTriples()
+					if len(concat) != len(want) {
+						return fmt.Errorf("p=%d heap=%v blocks=%d: concat %d nonzeros, want %d",
+							p, heap, blocks, len(concat), len(want))
+					}
+					for i := range want {
+						if concat[i] != want[i] {
+							return fmt.Errorf("p=%d heap=%v blocks=%d: triple %d: %+v != %+v",
+								p, heap, blocks, i, concat[i], want[i])
+						}
+					}
+					return nil
+				})
+			}
+		}
+	}
+}
+
+// PanelRange must tile the local width exactly, in order, for ragged and
+// oversubscribed block counts alike.
+func TestPanelRangeTiles(t *testing.T) {
+	runGrid(t, 4, func(g *Grid) error {
+		m, err := NewFromTriples(g, 10, 23, nil, Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		for _, blocks := range []int{1, 2, 5, 23, 40} {
+			var prev spmat.Index
+			for k := 0; k < blocks; k++ {
+				lo, hi := m.PanelRange(blocks, k)
+				if lo != prev || hi < lo {
+					return fmt.Errorf("blocks=%d panel %d: [%d,%d) after %d", blocks, k, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != m.Local.NumCols {
+				return fmt.Errorf("blocks=%d: panels cover %d of %d cols", blocks, prev, m.Local.NumCols)
+			}
+		}
+		return nil
+	})
+}
+
+// The clock's live-bytes ledger must record matrix constructions and
+// releases, and blocked SpGEMM must peak below the monolithic run when the
+// product dominates memory.
+func TestPeakBytesLedger(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := spmat.Index(120)
+	aT := randomTriples(rng, n, n, 2400)
+	peaks := map[int]int64{}
+	for _, blocks := range []int{1, 8} {
+		cl := runGrid(t, 4, func(g *Grid) error {
+			a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), 4), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			if g.Comm.Clock().LiveBytes() < a.LocalBytes() {
+				return fmt.Errorf("live bytes %d below local block %d", g.Comm.Clock().LiveBytes(), a.LocalBytes())
+			}
+			return SpGEMMBlocked(a, a, spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts(), blocks,
+				func(panel int, lo, hi spmat.Index, pm *Mat[float64]) error {
+					pm.Release()
+					return nil
+				})
+		})
+		peaks[blocks] = cl.PeakBytes()
+	}
+	if peaks[8] >= peaks[1] {
+		t.Errorf("8-panel peak %d not below monolithic %d", peaks[8], peaks[1])
+	}
+}

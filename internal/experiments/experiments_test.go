@@ -62,8 +62,8 @@ func TestSquareAtMost(t *testing.T) {
 }
 
 func TestGetRegistry(t *testing.T) {
-	if len(All()) != 12 {
-		t.Errorf("expected 12 experiments, got %d", len(All()))
+	if len(All()) != 13 {
+		t.Errorf("expected 13 experiments, got %d", len(All()))
 	}
 	if _, err := Get("fig12"); err != nil {
 		t.Error(err)
@@ -215,6 +215,49 @@ func TestThreadScalingShape(t *testing.T) {
 			t.Errorf("subs=%d: %d-thread total (%g) slower than serial (%g)",
 				subs, last, total[key{subs, last}], total[key{subs, 1}])
 		}
+	}
+}
+
+// Blocked waves: peak live bytes must decrease monotonically as the block
+// count grows (memory-bounded waves actually bound memory) while modeled
+// runtime stays within 15% of the single-wave run. The experiment itself
+// asserts the PSG is identical across the sweep.
+func TestBlockedWavesShape(t *testing.T) {
+	sc := testScale()
+	defer Reset()
+	tb, err := BlockedWaves(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(blockSweep) {
+		t.Fatalf("expected %d rows, got %d", len(blockSweep), len(tb.Rows))
+	}
+	// rows: blocks, nodes, total_s, spgemm_s, align_s, wait_s, peak_bytes, bytes_on_wire
+	var baseTime, prevPeak float64
+	for i, row := range tb.Rows {
+		var total, peak float64
+		if _, err := fmtSscan(row[2], &total); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[6], &peak); err != nil {
+			t.Fatal(err)
+		}
+		if peak <= 0 {
+			t.Fatalf("row %d: no peak recorded: %v", i, row)
+		}
+		if i == 0 {
+			baseTime = total
+		} else {
+			if peak >= prevPeak {
+				t.Errorf("peak bytes not decreasing: blocks=%s peak=%g vs previous %g",
+					row[0], peak, prevPeak)
+			}
+			if total > baseTime*1.15 {
+				t.Errorf("blocks=%s: modeled runtime %g exceeds 1.15x single-wave %g",
+					row[0], total, baseTime)
+			}
+		}
+		prevPeak = peak
 	}
 }
 

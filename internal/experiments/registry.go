@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"claims", "quantitative text claims", Claims},
 		{"ablations", "design-choice ablations", Ablations},
 		{"threads", "intra-rank thread scaling (hybrid parallelism)", ThreadScaling},
+		{"blocked", "memory-bounded wave pipeline (peak bytes vs blocks)", BlockedWaves},
 	}
 }
 

@@ -27,6 +27,20 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 60
 	}
+	// Declare the intra-rank thread count for the duration of the
+	// clustering: the expansion SpGEMM multiplies column chunks concurrently
+	// and the virtual clock charges its flops (and the elementwise
+	// inflation/pruning passes) as thread-parallel work.
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	clock := g.Comm.Clock()
+	prevThreads := clock.Threads()
+	clock.SetThreads(threads)
+	defer clock.SetThreads(prevThreads)
+	gemmOpts := dmat.DefaultSpGEMMOpts()
+	gemmOpts.Threads = threads
 
 	// Assemble the symmetric adjacency with self loops. Rank 0 contributes
 	// the loops so they are added exactly once.
@@ -46,26 +60,33 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 			ts = append(ts, spmat.Triple[float64]{Row: int64(i), Col: int64(i), Val: 1})
 		}
 	}
-	m, err := dmat.NewFromTriples(g, int64(n), int64(n), ts, dmat.Float64Codec,
+	raw, err := dmat.NewFromTriples(g, int64(n), int64(n), ts, dmat.Float64Codec,
 		func(a, b float64) float64 { return a + b })
 	if err != nil {
 		return nil, err
 	}
-	m = normalizeColumnsDist(m)
+	m := normalizeColumnsDist(raw)
+	raw.Release()
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		sq, err := dmat.SpGEMM(m, m, spmat.Arithmetic, dmat.Float64Codec, dmat.DefaultSpGEMMOpts())
+		sq, err := dmat.SpGEMM(m, m, spmat.Arithmetic, dmat.Float64Codec, gemmOpts)
 		if err != nil {
 			return nil, err
 		}
 		infl := sq.Map(func(v float64) float64 { return math.Pow(v, cfg.Inflation) })
-		infl = infl.Prune(func(r, c spmat.Index, v float64) bool { return v >= cfg.PruneBelow })
-		next := normalizeColumnsDist(infl)
+		sq.Release()
+		pruned := infl.Prune(func(r, c spmat.Index, v float64) bool { return v >= cfg.PruneBelow })
+		infl.Release()
+		next := normalizeColumnsDist(pruned)
+		pruned.Release()
 
 		// Convergence: the largest entrywise change across the grid.
 		delta := localDelta(m, next)
 		// Encode the float via its bits to reuse the integer max-reduce.
 		worst := g.Comm.AllreduceInt64("max", int64(math.Float64bits(delta)))
+		// Each iteration retires its predecessor so the live-bytes ledger
+		// tracks one resident matrix, not sixty.
+		m.Release()
 		m = next
 		if math.Float64frombits(uint64(worst)) <= cfg.Tolerance {
 			break

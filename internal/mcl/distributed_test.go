@@ -129,3 +129,61 @@ func TestDistributedErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Threading the expansion SpGEMM must leave the clustering bit-identical
+// and make the distributed iteration's virtual time no worse (strictly
+// better once the modeled regime is compute-dominated).
+func TestDistributedThreadsOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 30
+	var edges []Edge
+	for c := 0; c < 3; c++ {
+		base := int64(c * 10)
+		for i := int64(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				if rng.Float64() < 0.7 {
+					edges = append(edges, Edge{R: base + i, C: base + j, Weight: 1})
+				}
+			}
+		}
+	}
+	run := func(threads int) ([][]int, float64) {
+		cfg := DefaultConfig()
+		cfg.Threads = threads
+		var out [][]int
+		model := mpi.DefaultCostModel()
+		model.ComputeRate = 4e7 // compute-dominated, as in the pipeline tests
+		cl := mpi.NewCluster(4, model)
+		err := cl.Run(func(c *mpi.Comm) error {
+			g, err := dmat.NewGrid(c)
+			if err != nil {
+				return err
+			}
+			var mine []Edge
+			for i, e := range edges {
+				if i%4 == c.Rank() {
+					mine = append(mine, e)
+				}
+			}
+			clusters, err := ClusterDistributed(g, n, mine, cfg)
+			if c.Rank() == 0 {
+				out = clusters
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, cl.MaxTime()
+	}
+	ref, serialTime := run(1)
+	for _, threads := range []int{2, 8} {
+		got, tm := run(threads)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("threads=%d: clustering differs: %v vs %v", threads, got, ref)
+		}
+		if tm >= serialTime {
+			t.Errorf("threads=%d: virtual time %g not below serial %g", threads, tm, serialTime)
+		}
+	}
+}

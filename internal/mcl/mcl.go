@@ -25,6 +25,12 @@ type Config struct {
 	PruneBelow    float64 // drop entries below this after each step
 	MaxIterations int
 	Tolerance     float64 // convergence: max |M_t - M_{t-1}| entry change
+
+	// Threads is the intra-rank thread count ClusterDistributed hands to the
+	// expansion SpGEMM and the elementwise passes (HipMCL's hybrid
+	// MPI+OpenMP deployment). The clustering is bit-identical for every
+	// value; <= 1 runs the local kernels serially.
+	Threads int
 }
 
 // DefaultConfig matches the conventional MCL parameters.

@@ -62,6 +62,8 @@ type Clock struct {
 	sent      int64 // bytes sent (p2p + collectives)
 	received  int64
 	messages  int64
+	live      int64 // live allocation bytes currently charged to this rank
+	peak      int64 // high-water mark of live
 	sections  map[string]float64
 	openSect  []openSection
 	opsByName map[string]float64
@@ -115,8 +117,52 @@ func (c *Clock) Threads() int { return c.threads }
 // charging via Ops.
 func (c *Clock) ParOps(n float64) { c.Advance(n / c.model.ComputeRate / float64(c.threads)) }
 
+// OpsDuration returns the virtual seconds n generic operations would take,
+// without advancing the clock. Overlap lanes (work executing off the rank's
+// critical path, e.g. wave-pipelined alignment) use it to account deferred
+// compute that is later reconciled with Advance.
+func (c *Clock) OpsDuration(n float64) float64 { return n / c.model.ComputeRate }
+
+// ParOpsDuration is OpsDuration for thread-parallel work: the seconds n
+// operations take when spread across the rank's effective threads.
+func (c *Clock) ParOpsDuration(n float64) float64 {
+	return n / c.model.ComputeRate / float64(c.threads)
+}
+
 // IOBytes charges reading n bytes from the parallel filesystem.
 func (c *Clock) IOBytes(n int64) { c.Advance(float64(n) / c.model.IORate) }
+
+// AllocBytes records n bytes of simulated allocation becoming live on this
+// rank. The live counter feeds PeakBytes, the per-rank memory high-water
+// mark the memory-bounded wave pipeline is designed to shrink. Allocation
+// tracking is explicit (dmat's matrix constructors and release hooks call
+// these), not tied to Go's allocator, so peaks are deterministic.
+func (c *Clock) AllocBytes(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.live += n
+	if c.live > c.peak {
+		c.peak = c.live
+	}
+}
+
+// FreeBytes records n bytes leaving the live set.
+func (c *Clock) FreeBytes(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.live -= n
+	if c.live < 0 {
+		c.live = 0
+	}
+}
+
+// LiveBytes returns the bytes currently charged as live.
+func (c *Clock) LiveBytes() int64 { return c.live }
+
+// PeakBytes returns the rank's live-bytes high-water mark.
+func (c *Clock) PeakBytes() int64 { return c.peak }
 
 // BytesSent and BytesReceived report cumulative communication volume.
 func (c *Clock) BytesSent() int64     { return c.sent }
@@ -144,6 +190,17 @@ func (c *Clock) Section(name string, fn func()) {
 	c.StartSection(name)
 	defer c.EndSection()
 	fn()
+}
+
+// CreditSection attributes d virtual seconds of work to a named component
+// without advancing the clock. Overlapped stages use it: work hidden under
+// communication still shows up in the dissection ledger even though it adds
+// nothing to the critical path (components may then sum past the makespan,
+// exactly as overlapping bars would).
+func (c *Clock) CreditSection(name string, d float64) {
+	if d > 0 {
+		c.sections[name] += d
+	}
 }
 
 // Sections returns a copy of the per-component virtual-time ledger.
@@ -318,6 +375,18 @@ func (cl *Cluster) SectionMean() map[string]float64 {
 		out[name] /= float64(cl.size)
 	}
 	return out
+}
+
+// PeakBytes returns the largest per-rank live-bytes high-water mark: the
+// cluster's memory pressure measure (a run fits iff the worst rank fits).
+func (cl *Cluster) PeakBytes() int64 {
+	var max int64
+	for _, c := range cl.clocks {
+		if p := c.PeakBytes(); p > max {
+			max = p
+		}
+	}
+	return max
 }
 
 // TotalBytes returns cluster-wide communication volume.

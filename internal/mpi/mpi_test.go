@@ -402,3 +402,61 @@ func TestNestedSplitIDsDistinct(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClockMemoryLedgerAndCredits(t *testing.T) {
+	cl := NewCluster(1, DefaultCostModel())
+	err := cl.Run(func(c *Comm) error {
+		clock := c.Clock()
+		if clock.LiveBytes() != 0 || clock.PeakBytes() != 0 {
+			t.Errorf("fresh clock has live=%d peak=%d", clock.LiveBytes(), clock.PeakBytes())
+		}
+		clock.AllocBytes(100)
+		clock.AllocBytes(50)
+		clock.FreeBytes(100)
+		clock.AllocBytes(25)
+		if clock.LiveBytes() != 75 {
+			t.Errorf("live = %d, want 75", clock.LiveBytes())
+		}
+		if clock.PeakBytes() != 150 {
+			t.Errorf("peak = %d, want 150", clock.PeakBytes())
+		}
+		// Negative and over-free inputs are clamped, never panic.
+		clock.AllocBytes(-5)
+		clock.FreeBytes(1000)
+		if clock.LiveBytes() != 0 || clock.PeakBytes() != 150 {
+			t.Errorf("after clamp: live=%d peak=%d", clock.LiveBytes(), clock.PeakBytes())
+		}
+
+		// CreditSection attributes work without advancing time.
+		before := clock.Now()
+		clock.CreditSection("align", 1.5)
+		clock.CreditSection("align", 0.5)
+		clock.CreditSection("noop", -1)
+		if clock.Now() != before {
+			t.Error("CreditSection advanced the clock")
+		}
+		secs := clock.Sections()
+		if secs["align"] != 2.0 {
+			t.Errorf("align credit = %g, want 2", secs["align"])
+		}
+		if _, ok := secs["noop"]; ok {
+			t.Error("negative credit recorded")
+		}
+
+		// Duration helpers mirror Ops/ParOps without advancing.
+		clock.SetThreads(4)
+		if d := clock.ParOpsDuration(8e9); d != clock.OpsDuration(8e9)/4 {
+			t.Errorf("ParOpsDuration = %g, want quarter of serial", d)
+		}
+		if clock.Now() != before {
+			t.Error("duration helpers advanced the clock")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.PeakBytes() != 150 {
+		t.Errorf("cluster peak = %d, want 150", cl.PeakBytes())
+	}
+}

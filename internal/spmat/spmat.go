@@ -16,6 +16,7 @@ package spmat
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"repro/internal/parallel"
 )
@@ -127,9 +128,9 @@ func (m *DCSC[T]) ToTriples() []Triple[T] {
 	return out
 }
 
-// ColRange returns the half-open value range of column id, or (0,0,false)
+// colSpan returns the half-open value range of column id, or (0,0,false)
 // if the column is empty. Lookup is a binary search over JC.
-func (m *DCSC[T]) ColRange(col Index) (lo, hi int, ok bool) {
+func (m *DCSC[T]) colSpan(col Index) (lo, hi int, ok bool) {
 	c := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= col })
 	if c == len(m.JC) || m.JC[c] != col {
 		return 0, 0, false
@@ -137,10 +138,44 @@ func (m *DCSC[T]) ColRange(col Index) (lo, hi int, ok bool) {
 	return m.CP[c], m.CP[c+1], true
 }
 
+// ColRange returns the panel of columns with lo <= id < hi as a matrix of
+// the same shape (NumRows x NumCols; only the column set shrinks), so a
+// panel is directly usable wherever the full matrix is. Panels taken at
+// consecutive ranges concatenate — in range order — to exactly the original
+// matrix, which is the invariant the blocked SpGEMM pipeline builds on.
+// JC, IR and Vals share the receiver's backing arrays (no copy); only CP is
+// rebased. O(result + log columns).
+func (m *DCSC[T]) ColRange(lo, hi Index) *DCSC[T] {
+	out := &DCSC[T]{NumRows: m.NumRows, NumCols: m.NumCols}
+	cLo := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= lo })
+	cHi := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= hi })
+	if cLo >= cHi {
+		out.CP = []int{0}
+		return out
+	}
+	base := m.CP[cLo]
+	out.JC = m.JC[cLo:cHi:cHi]
+	out.CP = make([]int, 0, cHi-cLo+1)
+	for c := cLo; c <= cHi; c++ {
+		out.CP = append(out.CP, m.CP[c]-base)
+	}
+	out.IR = m.IR[base:m.CP[cHi]:m.CP[cHi]]
+	out.Vals = m.Vals[base:m.CP[cHi]:m.CP[cHi]]
+	return out
+}
+
+// Bytes estimates the in-memory footprint of the compressed arrays, the
+// quantity the virtual clock's live-bytes ledger tracks.
+func (m *DCSC[T]) Bytes() int64 {
+	var zero T
+	return int64(len(m.JC))*8 + int64(len(m.CP))*8 + int64(len(m.IR))*8 +
+		int64(len(m.Vals))*int64(unsafe.Sizeof(zero))
+}
+
 // At returns the value at (row, col) if stored.
 func (m *DCSC[T]) At(row, col Index) (T, bool) {
 	var zero T
-	lo, hi, ok := m.ColRange(col)
+	lo, hi, ok := m.colSpan(col)
 	if !ok {
 		return zero, false
 	}

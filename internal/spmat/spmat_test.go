@@ -470,3 +470,78 @@ func BenchmarkSpGEMMHeap(b *testing.B) {
 		}
 	}
 }
+
+// ColRange panels must cover exactly the requested columns, preserve the
+// matrix shape, and concatenate back to the original across any ragged
+// tiling — including empty panels and a trailing short block.
+func TestColRangePanels(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := mustFromTriples(t, 40, 37, randomTriples(rng, 40, 37, 300), nil)
+
+	// Full range is the identity.
+	full := m.ColRange(0, m.NumCols)
+	if !Equal(m, full, func(a, b float64) bool { return a == b }) {
+		t.Fatal("full-range panel differs from original")
+	}
+	// Empty panel: no columns, shape preserved, usable.
+	empty := m.ColRange(10, 10)
+	if empty.NNZ() != 0 || empty.NumRows != m.NumRows || empty.NumCols != m.NumCols {
+		t.Fatalf("empty panel: %d nnz, %dx%d", empty.NNZ(), empty.NumRows, empty.NumCols)
+	}
+	if got := empty.ToTriples(); len(got) != 0 {
+		t.Fatalf("empty panel yields triples: %v", got)
+	}
+	// Out-of-range bounds clamp to nothing.
+	if p := m.ColRange(37, 99); p.NNZ() != 0 {
+		t.Fatalf("past-the-end panel has %d nnz", p.NNZ())
+	}
+
+	// Ragged tilings (trailing short block) concatenate to the original.
+	for _, width := range []Index{1, 5, 12, 36, 37, 50} {
+		var concat []Triple[float64]
+		for lo := Index(0); lo < m.NumCols; lo += width {
+			hi := lo + width
+			if hi > m.NumCols {
+				hi = m.NumCols
+			}
+			panel := m.ColRange(lo, hi)
+			for _, tr := range panel.ToTriples() {
+				if tr.Col < lo || tr.Col >= hi {
+					t.Fatalf("width=%d: column %d outside [%d,%d)", width, tr.Col, lo, hi)
+				}
+			}
+			concat = append(concat, panel.ToTriples()...)
+		}
+		want := m.ToTriples()
+		if len(concat) != len(want) {
+			t.Fatalf("width=%d: %d triples, want %d", width, len(concat), len(want))
+		}
+		for i := range want {
+			if concat[i] != want[i] {
+				t.Fatalf("width=%d: triple %d: %+v != %+v", width, i, concat[i], want[i])
+			}
+		}
+	}
+}
+
+// A ColRange panel of a product must be usable as an SpGEMM operand and
+// reproduce the corresponding slice of the full product (the blocked SUMMA
+// broadcast path relies on this).
+func TestColRangeAsOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := mustFromTriples(t, 25, 30, randomTriples(rng, 25, 30, 200), nil)
+	b := mustFromTriples(t, 30, 22, randomTriples(rng, 30, 22, 200), nil)
+	full, _, err := SpGEMMHash(a, b, Arithmetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rng2 := range [][2]Index{{0, 7}, {7, 22}, {21, 22}, {0, 22}} {
+		part, _, err := SpGEMMHash(a, b.ColRange(rng2[0], rng2[1]), Arithmetic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(part, full.ColRange(rng2[0], rng2[1]), func(x, y float64) bool { return x == y }) {
+			t.Fatalf("product of panel [%d,%d) differs from panel of product", rng2[0], rng2[1])
+		}
+	}
+}

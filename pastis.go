@@ -26,6 +26,14 @@
 // size; the virtual clock credits parallel compute with up to
 // CostModel.CoresPerNode-way speedup.
 //
+// The pipeline itself is organized as memory-bounded waves (the follow-up's
+// blocked design): Config.Blocks splits the candidate matrix into that many
+// column panels, and each panel's pruning, symmetrization and alignment
+// overlap the next panel's SpGEMM stages. Peak per-rank memory
+// (Result.PeakBytes) shrinks roughly with the wave count at the price of
+// re-broadcasting A's blocks once per wave; the graph stays bit-identical
+// for every wave count.
+//
 // Quick start:
 //
 //	data, _ := pastis.GenerateScopeLike(50, 1)
@@ -106,6 +114,9 @@ type Result struct {
 	Sections map[string]float64
 	// BytesOnWire is the total communication volume across ranks.
 	BytesOnWire int64
+	// PeakBytes is the largest per-rank high-water mark of live matrix
+	// bytes: the memory-vs-Blocks tradeoff measure of the wave pipeline.
+	PeakBytes int64
 }
 
 // BuildGraph runs the full PASTIS pipeline on a simulated cluster of the
@@ -154,6 +165,7 @@ func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostMode
 	out.Time = cl.MaxTime()
 	out.Sections = cl.SectionMax()
 	out.BytesOnWire = cl.TotalBytes()
+	out.PeakBytes = cl.PeakBytes()
 	return out, nil
 }
 

@@ -9,7 +9,7 @@
 //	pastis-bench -scale full -csv out/    # full suite with CSV output
 //
 // Experiment ids: fig12 fig13 table1 fig14strong fig14weak fig15 fig16
-// fig17 table2 claims ablations threads.
+// fig17 table2 claims ablations threads blocked kernels.
 package main
 
 import (

@@ -5,6 +5,11 @@
 //
 //	pastis -in proteins.fa -out graph.tsv -nodes 16 -subs 25 -align xd -threads 8 -blocks 4
 //
+// -align selects the pairwise alignment kernel by its registry name — sw
+// (Smith-Waterman), xd (x-drop seed extension, the default), wfa (adaptive
+// wavefront; fastest on high-identity candidate sets), ug (ungapped seed
+// extension, cheapest) — or none to skip alignment for matrix-only runs.
+//
 // The output is a tab-separated edge list: the names of the two sequences,
 // the edge weight, identity, coverage, normalized score and raw score.
 package main
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/parallel"
@@ -26,7 +32,8 @@ func main() {
 		nodes   = flag.Int("nodes", 16, "simulated node count (perfect square)")
 		k       = flag.Int("k", 6, "k-mer length")
 		subs    = flag.Int("subs", 0, "substitute k-mers per k-mer (0 = exact matching)")
-		alignFl = flag.String("align", "xd", "alignment mode: xd, sw, or none")
+		alignFl = flag.String("align", "xd",
+			"alignment kernel: "+strings.Join(pastis.Kernels(), "|")+", or none")
 		weight  = flag.String("weight", "ani", "edge weight: ani or ns")
 		ck      = flag.Int("ck", 0, "common k-mer threshold (0 = off; paper: 1 exact / 3 subs)")
 		minID   = flag.Float64("min-identity", 0.30, "ANI filter: minimum identity")
@@ -64,16 +71,9 @@ func main() {
 	cfg.Threads = parallel.Resolve(*threads)
 	cfg.BatchSize = *batch
 	cfg.Blocks = *blocks
-	switch *alignFl {
-	case "xd":
-		cfg.Align = pastis.AlignXDrop
-	case "sw":
-		cfg.Align = pastis.AlignSW
-	case "none":
-		cfg.Align = pastis.AlignNone
-	default:
-		fatal(fmt.Errorf("unknown -align %q", *alignFl))
-	}
+	// Any registered kernel name (or "none") is valid; core's config
+	// validation rejects unknown names with the registered list.
+	cfg.Align = pastis.AlignMode(*alignFl)
 	switch *weight {
 	case "ani":
 		cfg.Weight = pastis.WeightANI
@@ -114,6 +114,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nnz(S):         %d\n", s.NNZS)
 		fmt.Fprintf(os.Stderr, "nnz(B):         %d (pruned: %d)\n", s.NNZB, s.NNZBPruned)
 		fmt.Fprintf(os.Stderr, "pairs aligned:  %d\n", s.PairsAligned)
+		fmt.Fprintf(os.Stderr, "dp cells:       %d (%s kernel)\n", s.CellsComputed, *alignFl)
 		fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
 		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
 		fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)

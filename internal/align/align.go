@@ -344,6 +344,9 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 	best := extension{}
 	bestScore := int32(0)
 	lo, hi := 0, 0
+	// Cells are tallied separately so recording a new best extension (which
+	// overwrites best wholesale) cannot reset the running count.
+	var cells int64
 
 	// Row 0: a run of E cells (gap consuming b) while they stay above -x.
 	for j := 1; j <= len(b); j++ {
@@ -353,7 +356,7 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 		if ext := left.e - extCost; ext > e {
 			e, me, ae = ext, left.me, left.ae+1
 		}
-		best.cells++
+		cells++
 		if e < bestScore-x {
 			break
 		}
@@ -373,7 +376,7 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 			if j > hi+1 && (j == 0 || (cur[j-1].h <= negInf && cur[j-1].e <= negInf)) {
 				break
 			}
-			best.cells++
+			cells++
 			c := deadCell
 			if j > 0 {
 				if left := cur[j-1]; left.h > negInf || left.e > negInf {
@@ -429,6 +432,7 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 		lo, hi = newLo, newHi
 		prev, cur = cur, prev
 	}
+	best.cells = cells
 	return best
 }
 
@@ -436,7 +440,17 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 // directions, stopping when the running score drops more than xdrop below
 // the best (the MMseqs2-style ungapped diagonal score).
 func UngappedExtend(a, b []alphabet.Code, seedA, seedB, k int, sc Scoring, xdrop int) Result {
-	res := Result{}
+	return NewAligner().UngappedExtend(a, b, seedA, seedB, k, sc, xdrop)
+}
+
+// UngappedExtend is the Aligner form of the package-level function: the
+// diagonal scan needs no DP buffers, but the method form gives the batched
+// pipeline and the `ug` kernel one uniform per-worker call shape (and a
+// place to hang scratch state if the scan ever gains SIMD-style batching).
+// Result.Cells counts every scored diagonal column, including the
+// overshoot past the best endpoints that the x-drop rule explores.
+func (al *Aligner) UngappedExtend(a, b []alphabet.Code, seedA, seedB, k int, sc Scoring, xdrop int) Result {
+	res := Result{Cells: int64(k)}
 	for i := 0; i < k; i++ {
 		res.Score += sc.Matrix.Score(a[seedA+i], b[seedB+i])
 		if a[seedA+i] == b[seedB+i] {
@@ -451,6 +465,7 @@ func UngappedExtend(a, b []alphabet.Code, seedA, seedB, k int, sc Scoring, xdrop
 	score, bestAt := res.Score, res.Score
 	adv, matches, mAtBest := 0, res.Matches, res.Matches
 	for i := 0; seedA+k+i < len(a) && seedB+k+i < len(b); i++ {
+		res.Cells++
 		score += sc.Matrix.Score(a[seedA+k+i], b[seedB+k+i])
 		if a[seedA+k+i] == b[seedB+k+i] {
 			matches++
@@ -471,6 +486,7 @@ func UngappedExtend(a, b []alphabet.Code, seedA, seedB, k int, sc Scoring, xdrop
 	score, bestAt = res.Score, res.Score
 	adv, matches, mAtBest = 0, res.Matches, res.Matches
 	for i := 1; seedA-i >= 0 && seedB-i >= 0; i++ {
+		res.Cells++
 		score += sc.Matrix.Score(a[seedA-i], b[seedB-i])
 		if a[seedA-i] == b[seedB-i] {
 			matches++

@@ -1,0 +1,425 @@
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/scoring"
+)
+
+// This file implements the wavefront alignment kernel (WFA; Marco-Sola et
+// al. 2021, gap-affine recurrences) with the adaptive band reduction of
+// WFA-Adapt. Instead of filling an la×lb DP matrix, wavefronts track — per
+// accumulated penalty s and diagonal k — the furthest offset reachable, and
+// runs of matching residues are consumed for free by greedy extension. Work
+// is O(n·s): proportional to how *dissimilar* the pair is, which makes the
+// kernel a natural fit for the post-SpGEMM candidate set where most
+// surviving pairs are high-identity (the extreme-scale follow-up's cheap-
+// kernel lever, arXiv:2303.01845).
+//
+// The wavefront search runs on the classic small-integer WFA penalties
+// (match 0 / mismatch 4 / gap open 6 / extend 2) to pick the alignment
+// path; the Result handed back to the similarity filter is that path
+// re-scored under the pipeline's BLOSUM62 scoring, with matches and
+// alignment columns carried along each wavefront cell so identity and
+// coverage come out without a traceback. The alignment is global (spans
+// cover both sequences end to end), so on the high-identity pairs the
+// kernel targets it reproduces Smith-Waterman's accept/reject decisions —
+// SW aligns those pairs essentially end to end as well — at a fraction of
+// the DP cells.
+//
+// The global spans also mean CoverageShorter is 1 by construction: the
+// pipeline's coverage filter (Config.MinCoverage) never rejects under this
+// kernel, and a pair sharing only a local domain is judged on its global
+// identity instead of being trimmed to the domain. Use sw or xd when
+// local-segment discrimination (multi-domain proteins) matters.
+//
+// The penalties are the WFA paper's defaults (mismatch 4 / open 6 /
+// extend 2) divided by their gcd: a uniform scaling preserves the optimal
+// path set exactly while halving the number of wavefronts — and therefore
+// the cells — the search visits.
+const (
+	wfaMismatch = 2
+	wfaGapOpen  = 3
+	wfaGapExt   = 1
+	// wfaPruneLag is the WFA-Adapt heuristic band: a diagonal whose
+	// antidiagonal progress (v+h) lags the wavefront's best by more than
+	// this is dropped. Large enough that the optimal path of a homologous
+	// pair is never pruned in practice; the cut keeps the live band — and
+	// therefore cells — near-constant instead of growing with s.
+	wfaPruneLag = 48
+)
+
+// wfDead marks an unreachable diagonal in a wavefront.
+const wfDead = int32(-1)
+
+// wfWave is one wavefront of one component at one penalty: for each
+// diagonal k in [lo,hi], the furthest offset h along b (wfDead when the
+// diagonal is unreachable at this penalty) plus the path statistics into
+// that cell: matches, alignment columns, and BLOSUM score.
+type wfWave struct {
+	lo, hi int32 // inclusive; hi < lo means the wave is empty
+	off    []int32
+	mt     []int32
+	al     []int32
+	sc     []int32
+}
+
+var wfEmptyWave = wfWave{lo: 1, hi: 0}
+
+func (w *wfWave) get(k int32) (off, mt, al, sc int32, ok bool) {
+	if k < w.lo || k > w.hi {
+		return 0, 0, 0, 0, false
+	}
+	i := k - w.lo
+	if w.off[i] == wfDead {
+		return 0, 0, 0, 0, false
+	}
+	return w.off[i], w.mt[i], w.al[i], w.sc[i], true
+}
+
+// wfArena hands out reusable int32 slices chunk-wise; chunks persist across
+// Align calls so a worker's kernel instance stops allocating once warm.
+type wfArena struct {
+	chunks [][]int32
+	ci     int
+	used   int
+}
+
+func (ar *wfArena) reset() { ar.ci, ar.used = 0, 0 }
+
+func (ar *wfArena) alloc(n int) []int32 {
+	for {
+		if ar.ci < len(ar.chunks) {
+			c := ar.chunks[ar.ci]
+			if ar.used+n <= len(c) {
+				s := c[ar.used : ar.used+n : ar.used+n]
+				ar.used += n
+				return s
+			}
+			ar.ci++
+			ar.used = 0
+			continue
+		}
+		size := 1 << 14
+		if n > size {
+			size = n
+		}
+		ar.chunks = append(ar.chunks, make([]int32, size))
+	}
+}
+
+// wfaKernel is the wavefront kernel instance: per-worker reusable wavefront
+// storage plus the cumulative cell counter.
+type wfaKernel struct {
+	m, i, d []wfWave // wavefronts indexed by penalty s
+	arena   wfArena
+	cells   int64
+}
+
+func newWFAKernel() *wfaKernel { return &wfaKernel{} }
+
+func (w *wfaKernel) Name() string { return "wfa" }
+
+func (w *wfaKernel) CellsComputed() int64 { return w.cells }
+
+// newWave allocates a wave for diagonals [lo,hi] with every diagonal dead.
+func (w *wfaKernel) newWave(lo, hi int32) wfWave {
+	n := int(hi - lo + 1)
+	wv := wfWave{lo: lo, hi: hi,
+		off: w.arena.alloc(n), mt: w.arena.alloc(n), al: w.arena.alloc(n), sc: w.arena.alloc(n)}
+	for i := range wv.off {
+		wv.off[i] = wfDead
+	}
+	return wv
+}
+
+// waveAt returns the stored wave at penalty s, or an empty wave.
+func waveAt(ws []wfWave, s int) *wfWave {
+	if s < 0 || s >= len(ws) {
+		return &wfEmptyWave
+	}
+	return &ws[s]
+}
+
+// Align runs the gap-affine wavefront search; seeds are ignored (like sw,
+// the kernel is seed-oblivious).
+func (w *wfaKernel) Align(a, b []alphabet.Code, _ []Seed, p Params) (Result, error) {
+	la, lb := int32(len(a)), int32(len(b))
+	if la == 0 || lb == 0 {
+		return Result{}, nil
+	}
+	matrix := p.Scoring.Matrix
+	openCost := int32(p.Scoring.GapOpen + p.Scoring.GapExtend)
+	extCost := int32(p.Scoring.GapExtend)
+	kFinal := lb - la
+
+	w.arena.reset()
+	w.m, w.i, w.d = w.m[:0], w.i[:0], w.d[:0]
+	var cells int64
+
+	// Penalty 0: the single diagonal k=0 at offset 0, greedily extended.
+	w0 := w.newWave(0, 0)
+	w0.off[0], w0.mt[0], w0.al[0], w0.sc[0] = 0, 0, 0, 0
+	cells++
+	cells += wfExtend(&w0, a, b, matrix)
+	w.m = append(w.m, w0)
+	w.i = append(w.i, wfEmptyWave)
+	w.d = append(w.d, wfEmptyWave)
+	if r, done := w.final(&w0, kFinal, la, lb, cells); done {
+		w.cells += cells
+		return r, nil
+	}
+
+	// Any global alignment costs at most all-mismatches plus one length-
+	// difference gap; past a small slack over that, something is wrong.
+	minLen := la
+	if lb < minLen {
+		minLen = lb
+	}
+	maxS := wfaMismatch*int(minLen) + wfaGapOpen + wfaGapExt*int(la+lb) + wfaMismatch
+
+	for s := 1; ; s++ {
+		if s > maxS {
+			w.cells += cells
+			return Result{}, fmt.Errorf("align: wfa wavefront exceeded penalty budget %d on %d x %d pair", maxS, la, lb)
+		}
+		mo := waveAt(w.m, s-wfaGapOpen-wfaGapExt) // gap-open source
+		mx := waveAt(w.m, s-wfaMismatch)          // mismatch source
+		ie := waveAt(w.i, s-wfaGapExt)            // insertion-extend source
+		de := waveAt(w.d, s-wfaGapExt)            // deletion-extend source
+
+		lo, hi, any := wfBounds(mo, mx, ie, de, la, lb)
+		if !any {
+			w.m = append(w.m, wfEmptyWave)
+			w.i = append(w.i, wfEmptyWave)
+			w.d = append(w.d, wfEmptyWave)
+			continue
+		}
+		mw := w.newWave(lo, hi)
+		iw := w.newWave(lo, hi)
+		dw := w.newWave(lo, hi)
+		for k := lo; k <= hi; k++ {
+			cells++
+			idx := k - lo
+
+			// I[s,k]: gap in a consuming b (h+1); open from M[s-o-e,k-1]
+			// beats extend from I[s-e,k-1] on offset ties, mirroring the
+			// Gotoh kernels' strictly-greater extension comparisons.
+			// Boundary feasibility is decided per source BEFORE the max: a
+			// source already at the sequence end cannot take the step, but
+			// a feasible runner-up still can.
+			{
+				oOff, oMt, oAl, oSc, okO := mo.get(k - 1)
+				okO = okO && oOff+1 <= lb
+				eOff, eMt, eAl, eSc, okE := ie.get(k - 1)
+				okE = okE && eOff+1 <= lb
+				if okO && (!okE || oOff >= eOff) {
+					iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx] = oOff+1, oMt, oAl+1, oSc-openCost
+				} else if okE {
+					iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx] = eOff+1, eMt, eAl+1, eSc-extCost
+				}
+			}
+
+			// D[s,k]: gap in b consuming a (v+1, offset unchanged).
+			{
+				oOff, oMt, oAl, oSc, okO := mo.get(k + 1)
+				okO = okO && oOff-k <= la
+				eOff, eMt, eAl, eSc, okE := de.get(k + 1)
+				okE = okE && eOff-k <= la
+				if okO && (!okE || oOff >= eOff) {
+					dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx] = oOff, oMt, oAl+1, oSc-openCost
+				} else if okE {
+					dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx] = eOff, eMt, eAl+1, eSc-extCost
+				}
+			}
+
+			// M[s,k]: the mismatch step from M[s-x,k] (preferred on offset
+			// ties, like the Gotoh diagonal), else the best same-s gap cell.
+			best := wfDead
+			var mt, al2, sc2 int32
+			if xOff, xMt, xAl, xSc, okX := mx.get(k); okX {
+				off := xOff + 1
+				v := off - k
+				if off <= lb && v <= la {
+					// Greedy extension consumed every equal pair, so the
+					// mismatch step always scores an unequal pair.
+					best = off
+					mt, al2, sc2 = xMt, xAl+1, xSc+int32(matrix.Score(a[v-1], b[off-1]))
+				}
+			}
+			if iw.off[idx] != wfDead && iw.off[idx] > best {
+				best, mt, al2, sc2 = iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx]
+			}
+			if dw.off[idx] != wfDead && dw.off[idx] > best {
+				best, mt, al2, sc2 = dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx]
+			}
+			if best != wfDead {
+				mw.off[idx], mw.mt[idx], mw.al[idx], mw.sc[idx] = best, mt, al2, sc2
+			}
+		}
+
+		cells += wfExtend(&mw, a, b, matrix)
+		if r, done := w.final(&mw, kFinal, la, lb, cells); done {
+			w.cells += cells
+			// Count the partial waves of this penalty before returning.
+			w.m = append(w.m, mw)
+			w.i = append(w.i, iw)
+			w.d = append(w.d, dw)
+			return r, nil
+		}
+		wfPrune(&mw)
+		// The reduction applies to all components: without clamping, I/D
+		// gap-extension chains would keep every diagonal of the unpruned
+		// band alive and the wavefront would regrow ±1 per penalty.
+		if mw.hi >= mw.lo {
+			wfClamp(&iw, mw.lo, mw.hi)
+			wfClamp(&dw, mw.lo, mw.hi)
+		}
+		w.m = append(w.m, mw)
+		w.i = append(w.i, iw)
+		w.d = append(w.d, dw)
+	}
+}
+
+// wfBounds derives the diagonal range wave s can populate from its four
+// source waves, clamped to the feasible diagonals of the pair. Empty
+// source waves contribute nothing — the emptiness check must precede the
+// ±1 widening, or an empty wave's sentinel bounds (lo=1, hi=0) would
+// masquerade as the range [0,1].
+func wfBounds(mo, mx, ie, de *wfWave, la, lb int32) (lo, hi int32, any bool) {
+	lo, hi = int32(1), int32(0)
+	add := func(w *wfWave, dl, dh int32) {
+		if w.lo > w.hi {
+			return
+		}
+		l, h := w.lo+dl, w.hi+dh
+		if !any || l < lo {
+			lo = l
+		}
+		if !any || h > hi {
+			hi = h
+		}
+		any = true
+	}
+	add(mx, 0, 0)
+	add(mo, -1, +1)
+	add(ie, +1, +1)
+	add(de, -1, -1)
+	if !any {
+		return 0, 0, false
+	}
+	if lo < -la {
+		lo = -la
+	}
+	if hi > lb {
+		hi = lb
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// wfExtend greedily advances every live M diagonal through its run of equal
+// residues, accumulating match statistics; returns the comparisons made
+// (the extension share of the kernel's cell count).
+func wfExtend(wv *wfWave, a, b []alphabet.Code, matrix *scoring.Matrix) int64 {
+	la, lb := int32(len(a)), int32(len(b))
+	var n int64
+	for k := wv.lo; k <= wv.hi; k++ {
+		idx := k - wv.lo
+		off := wv.off[idx]
+		if off == wfDead {
+			continue
+		}
+		v := off - k
+		for off < lb && v < la && a[v] == b[off] {
+			n++
+			wv.mt[idx]++
+			wv.al[idx]++
+			wv.sc[idx] += int32(matrix.Score(a[v], b[off]))
+			off++
+			v++
+		}
+		if off < lb && v < la {
+			n++ // the comparison that ended the run
+		}
+		wv.off[idx] = off
+	}
+	return n
+}
+
+// final reports the finished alignment once the M wavefront reaches the
+// terminal diagonal's end offset (h = lb, hence v = la: the global corner).
+func (w *wfaKernel) final(wv *wfWave, kFinal, la, lb int32, cells int64) (Result, bool) {
+	off, mt, al, sc, ok := wv.get(kFinal)
+	if !ok || off < lb {
+		return Result{}, false
+	}
+	return Result{
+		Score: int(sc), Matches: int(mt), AlignLen: int(al),
+		BeginA: 0, EndA: int(la), BeginB: 0, EndB: int(lb),
+		Cells: cells,
+	}, true
+}
+
+// wfPrune applies the WFA-Adapt band reduction: diagonals whose
+// antidiagonal progress (v+h = 2·offset−k) lags the wave's furthest cell by
+// more than wfaPruneLag are dropped from the edges of the band. Only the
+// bounds shrink — the furthest diagonal always survives — so the search
+// stays deterministic and terminates; the heuristic can in principle prune
+// an optimal path, which is the documented adaptive/approximate trade.
+func wfPrune(wv *wfWave) {
+	best := int32(-1 << 30)
+	for k := wv.lo; k <= wv.hi; k++ {
+		if off := wv.off[k-wv.lo]; off != wfDead {
+			if p := 2*off - k; p > best {
+				best = p
+			}
+		}
+	}
+	lo, hi := wv.lo, wv.hi
+	for lo <= hi {
+		off := wv.off[lo-wv.lo]
+		if off != wfDead && 2*off-lo >= best-wfaPruneLag {
+			break
+		}
+		lo++
+	}
+	for hi >= lo {
+		off := wv.off[hi-wv.lo]
+		if off != wfDead && 2*off-hi >= best-wfaPruneLag {
+			break
+		}
+		hi--
+	}
+	if lo > hi {
+		*wv = wfEmptyWave
+		return
+	}
+	wv.off = wv.off[lo-wv.lo : hi-wv.lo+1]
+	wv.mt = wv.mt[lo-wv.lo : hi-wv.lo+1]
+	wv.al = wv.al[lo-wv.lo : hi-wv.lo+1]
+	wv.sc = wv.sc[lo-wv.lo : hi-wv.lo+1]
+	wv.lo, wv.hi = lo, hi
+}
+
+// wfClamp restricts a wave to the diagonal range [lo,hi].
+func wfClamp(wv *wfWave, lo, hi int32) {
+	if lo < wv.lo {
+		lo = wv.lo
+	}
+	if hi > wv.hi {
+		hi = wv.hi
+	}
+	if lo > hi {
+		*wv = wfEmptyWave
+		return
+	}
+	wv.off = wv.off[lo-wv.lo : hi-wv.lo+1]
+	wv.mt = wv.mt[lo-wv.lo : hi-wv.lo+1]
+	wv.al = wv.al[lo-wv.lo : hi-wv.lo+1]
+	wv.sc = wv.sc[lo-wv.lo : hi-wv.lo+1]
+	wv.lo, wv.hi = lo, hi
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/align"
 	"repro/internal/dmat"
 	"repro/internal/fasta"
 	"repro/internal/kmer"
@@ -117,7 +118,16 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 		stats.NNZS = s.NNZ()
 
 		clock.StartSection(SectionAS)
-		ops.as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
+		if blocks > 1 {
+			// Multi-wave runs stream AS through column panels as well: the
+			// full product must stay resident (it is the left operand of
+			// every B panel), but assembling it panel-by-panel keeps only
+			// one panel's SUMMA transients and triple accumulation live at
+			// a time, so AS no longer bounds substitute-path peak memory.
+			ops.as, err = dmat.SpGEMMStreamed(a, s, ASSemiring, PosDistCodec, gemmOpts, blocks)
+		} else {
+			ops.as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
+		}
 		clock.EndSection()
 		if err != nil {
 			return nil, err
@@ -143,6 +153,7 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	stats.NNZB = comm.AllreduceInt64("sum", w.nnzB)
 	stats.NNZBPruned = comm.AllreduceInt64("sum", w.nnzPruned)
 	stats.PairsAligned = w.aligned
+	stats.CellsComputed = comm.AllreduceInt64("sum", w.cells)
 
 	res := &Result{Edges: w.edges}
 
@@ -170,6 +181,11 @@ func validate(cfg Config) error {
 	}
 	if cfg.MinIdentity < 0 || cfg.MinIdentity > 1 || cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
 		return fmt.Errorf("core: identity/coverage thresholds must be fractions")
+	}
+	if cfg.Align != AlignNone {
+		if _, err := align.KernelFactory(string(cfg.Align)); err != nil {
+			return fmt.Errorf("core: Config.Align: %w", err)
+		}
 	}
 	return nil
 }

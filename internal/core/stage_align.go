@@ -89,13 +89,22 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 //
 // Pairs are aligned in bounded batches streamed onto a worker pool (the
 // follow-up paper's batched hybrid design): each batch holds at most
-// cfg.BatchSize pairs, each worker reuses one set of DP buffers across all
-// its batches, and per-batch outputs merge in batch order — so the edge
-// list, counters and DP-cell count are bit-identical to a serial pass for
-// any thread count.
+// cfg.BatchSize pairs, each worker reuses one alignment-kernel instance —
+// hence one set of DP/wavefront buffers — across all its batches, and
+// per-batch outputs merge in batch order, so the edge list, counters and
+// DP-cell count are bit-identical to a serial pass for any thread count.
+//
+// The batch loop is kernel-oblivious: cfg.Align resolves a factory from the
+// align package's registry, every pair dispatches through align.Kernel, and
+// the cells charged to the virtual clock come from the kernels' own
+// CellsComputed accounting (per-chunk deltas, summed in batch order).
 func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index,
 	store *seqstore.Store, cfg Config) ([]Edge, int64, int64, error) {
 
+	kernelFor, err := align.KernelFactory(string(cfg.Align))
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	onOrAboveDiag := g.MyRow <= g.MyCol
 
 	// Ownership filtering is cheap and serial; it yields the candidate list
@@ -141,26 +150,37 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 		err     error
 	}
 	outs := make([]batchOut, nbatches)
-	aligners := make([]*align.Aligner, parallel.Workers(threads)) // per-worker reusable DP buffers
+	params := align.Params{
+		Scoring: align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend},
+		XDrop:   cfg.XDropValue,
+	}
+	// Per-worker reusable state: one kernel instance (DP/wavefront buffers)
+	// and one seed scratch slice, so the per-pair loop does not allocate.
+	type worker struct {
+		kernel align.Kernel
+		seeds  []align.Seed
+	}
+	workers := make([]worker, parallel.Workers(threads))
 	parallel.ForChunks(threads, len(cands), nbatches, func(w, chunk, lo, hi int) {
-		al := aligners[w]
-		if al == nil {
-			al = align.NewAligner()
-			aligners[w] = al
+		ws := &workers[w]
+		if ws.kernel == nil {
+			ws.kernel = kernelFor()
+			ws.seeds = make([]align.Seed, 0, len(Overlap{}.Seeds))
 		}
 		out := &outs[chunk]
+		startCells := ws.kernel.CellsComputed()
 		for _, t := range cands[lo:hi] {
-			edge, aligned, cells, err := alignPair(al, t, rowOff, colOff, store, cfg)
-			out.aligned += aligned
-			out.cells += cells
+			edge, err := alignPair(ws.kernel, params, ws.seeds, t, rowOff, colOff, store, cfg)
 			if err != nil {
 				out.err = err
-				return
+				break
 			}
+			out.aligned++
 			if edge != nil {
 				out.edges = append(out.edges, *edge)
 			}
 		}
+		out.cells += ws.kernel.CellsComputed() - startCells
 	})
 
 	var edges []Edge
@@ -176,55 +196,48 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 	return edges, aligned, cells, nil
 }
 
-// alignPair aligns one candidate pair on the given worker-local Aligner and
+// alignPair aligns one candidate pair on the given worker-local kernel and
 // applies the similarity filter; edge is nil when the pair is filtered out.
-func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
-	store *seqstore.Store, cfg Config) (edge *Edge, aligned, cells int64, err error) {
+// seedScratch is the worker's reusable seed slice (capacity >= the Overlap
+// seed bound, so appending never allocates).
+func alignPair(k align.Kernel, params align.Params, seedScratch []align.Seed,
+	t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
+	store *seqstore.Store, cfg Config) (edge *Edge, err error) {
 
-	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
-	xp := align.XDropParams{Scoring: sc, XDrop: cfg.XDropValue}
 	r, c := rowOff+t.Row, colOff+t.Col
 	seqR, err := store.RowSeq(r)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
 	seqC, err := store.ColSeq(c)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
 	// Align in canonical orientation (lower global index first): mirror
 	// blocks see the pair transposed, and alignment tie-breaking is not
-	// orientation-symmetric, so this keeps the PSG bit-identical across
-	// process counts (the paper's reproducibility property).
+	// guaranteed orientation-symmetric on degenerate ties, so this keeps
+	// the PSG bit-identical across process counts (the paper's
+	// reproducibility property).
 	aCodes, bCodes := seqR.Codes, seqC.Codes
 	swapped := r > c
 	if swapped {
 		aCodes, bCodes = bCodes, aCodes
 	}
-	var best align.Result
-	switch cfg.Align {
-	case AlignSW:
-		best = al.SmithWaterman(aCodes, bCodes, sc)
-		cells += best.Cells
-	case AlignXDrop:
-		ov := t.Val
-		for si := int32(0); si < ov.NumSeeds; si++ {
-			seed := ov.Seeds[si]
-			seedA, seedB := int(seed.PosR), int(seed.PosC)
-			if swapped {
-				seedA, seedB = seedB, seedA
-			}
-			res, err := al.XDrop(aCodes, bCodes, seedA, seedB, cfg.K, xp)
-			if err != nil {
-				continue // seed fell off due to an inconsistent position
-			}
-			cells += res.Cells
-			if res.Score > best.Score {
-				best = res
-			}
+	// Hand the kernel the overlap's seeds in the chosen orientation; the
+	// kernel decides whether it needs them.
+	seeds := seedScratch[:0]
+	ov := t.Val
+	for si := int32(0); si < ov.NumSeeds; si++ {
+		seedA, seedB := int(ov.Seeds[si].PosR), int(ov.Seeds[si].PosC)
+		if swapped {
+			seedA, seedB = seedB, seedA
 		}
+		seeds = append(seeds, align.Seed{PosA: seedA, PosB: seedB, K: cfg.K})
 	}
-	aligned = 1
+	best, err := k.Align(aCodes, bCodes, seeds, params)
+	if err != nil {
+		return nil, err
+	}
 
 	lenR, lenC := len(aCodes), len(bCodes)
 	ident := best.Identity()
@@ -234,12 +247,12 @@ func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.
 	switch cfg.Weight {
 	case WeightANI:
 		if ident < cfg.MinIdentity || cov < cfg.MinCoverage {
-			return nil, aligned, cells, nil
+			return nil, nil
 		}
 		weight = ident
 	case WeightNS:
 		if best.Score <= 0 {
-			return nil, aligned, cells, nil
+			return nil, nil
 		}
 		weight = ns
 	}
@@ -250,5 +263,5 @@ func alignPair(al *align.Aligner, t spmat.Triple[Overlap], rowOff, colOff spmat.
 	return &Edge{
 		R: lo, C: hi, Weight: weight,
 		Ident: ident, Cov: cov, NS: ns, Score: best.Score,
-	}, aligned, cells, nil
+	}, nil
 }

@@ -7,33 +7,58 @@ package core
 
 import (
 	"sort"
+	"strings"
 
+	"repro/internal/align"
 	"repro/internal/dmat"
 	"repro/internal/spmat"
 )
 
-// AlignMode selects the pairwise aligner (paper Section IV-E).
-type AlignMode int
+// AlignMode selects the pairwise alignment kernel by name (paper Section
+// IV-E). Valid values are AlignNone and the names in the align package's
+// kernel registry — the built-ins below plus anything registered via
+// align.RegisterKernel — so new kernels become pipeline modes without
+// touching this package. The zero value ("") is invalid, consistent with
+// the zero Config being unrunnable: validation rejects it with the
+// registered-kernel list; start from DefaultConfig.
+type AlignMode string
 
 const (
 	// AlignXDrop is seed-and-extend with gapped x-drop (PASTIS-XD).
-	AlignXDrop AlignMode = iota
+	AlignXDrop AlignMode = "xd"
 	// AlignSW is full Smith-Waterman local alignment (PASTIS-SW).
-	AlignSW
+	AlignSW AlignMode = "sw"
+	// AlignWFA is gap-affine wavefront alignment with adaptive pruning:
+	// SW-equivalent accept/reject decisions on the high-identity pairs that
+	// dominate the post-SpGEMM candidate set, at a fraction of the DP cells.
+	// The alignment is global, so coverage is always 1 and MinCoverage has
+	// no effect; prefer sw/xd when local-domain discrimination matters.
+	AlignWFA AlignMode = "wfa"
+	// AlignUngapped is ungapped seed extension (the MMseqs2 prefilter
+	// alignment): the cheapest kernel, trading gapped-homology recall.
+	AlignUngapped AlignMode = "ug"
 	// AlignNone skips alignment; used by the matrix-only scaling studies
 	// (paper Figs. 14-16 exclude alignment).
-	AlignNone
+	AlignNone AlignMode = "none"
 )
 
 func (m AlignMode) String() string {
-	switch m {
-	case AlignXDrop:
-		return "XD"
-	case AlignSW:
-		return "SW"
-	default:
+	if m == AlignNone {
 		return "none"
 	}
+	return strings.ToUpper(string(m))
+}
+
+// KernelModes lists every registered alignment kernel as an AlignMode, in
+// registration order (sw, xd, wfa, ug for the built-ins). Experiments sweep
+// this instead of hard-coding kernel lists.
+func KernelModes() []AlignMode {
+	names := align.Kernels()
+	modes := make([]AlignMode, len(names))
+	for i, n := range names {
+		modes[i] = AlignMode(n)
+	}
+	return modes
 }
 
 // WeightMode selects the similarity-graph edge weight (paper Section VI-B).
@@ -321,7 +346,12 @@ type Stats struct {
 	NNZB         int64 // before the common-k-mer prune
 	NNZBPruned   int64 // after it
 	PairsAligned int64 // alignments performed (upper-triangle pairs)
-	EdgesKept    int64 // pairs surviving the similarity filter
+	// CellsComputed is the total DP cells the alignment kernel evaluated —
+	// the per-kernel cost measure the virtual clock charges, reported by
+	// the kernels themselves (align.Kernel.CellsComputed) so sparse kernels
+	// like wfa are billed their sparse cost.
+	CellsComputed int64
+	EdgesKept     int64 // pairs surviving the similarity filter
 }
 
 // Result is the outcome of one pipeline run on one rank.

@@ -35,7 +35,7 @@ type wave struct {
 	laneT   float64 // virtual completion time of the last collected wave
 
 	// Local accumulators, reduced once after the drain.
-	nnzB, nnzPruned, aligned int64
+	nnzB, nnzPruned, aligned, cells int64
 }
 
 // panelFuture is one in-flight wave.
@@ -103,6 +103,7 @@ func (w *wave) collect() error {
 	w.nnzB += res.nnzB
 	w.nnzPruned += res.nnzPruned
 	w.aligned += res.aligned
+	w.cells += res.cells
 	return nil
 }
 

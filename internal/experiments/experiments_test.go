@@ -62,8 +62,8 @@ func TestSquareAtMost(t *testing.T) {
 }
 
 func TestGetRegistry(t *testing.T) {
-	if len(All()) != 13 {
-		t.Errorf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Errorf("expected 14 experiments, got %d", len(All()))
 	}
 	if _, err := Get("fig12"); err != nil {
 		t.Error(err)
@@ -258,6 +258,40 @@ func TestBlockedWavesShape(t *testing.T) {
 			}
 		}
 		prevPeak = peak
+	}
+}
+
+// Kernels: one row per registered kernel; the experiment itself asserts the
+// acceptance contract (wfa graph identical to sw at >=5x fewer cells on the
+// high-identity workload), so a clean run is the real check. The shape
+// assertions here cover the rest: sw computes the most cells, ug the least.
+func TestKernelsExperimentShape(t *testing.T) {
+	sc := testScale()
+	defer Reset()
+	tb, err := Kernels(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]float64{}
+	for _, row := range tb.Rows {
+		var c float64
+		if _, err := fmtSscan(row[4], &c); err != nil {
+			t.Fatal(err)
+		}
+		cells[row[0]] = c
+	}
+	for _, name := range []string{"sw", "xd", "wfa", "ug"} {
+		if cells[name] <= 0 {
+			t.Fatalf("kernel %q missing or computed no cells: %v", name, tb.Rows)
+		}
+	}
+	for name, c := range cells {
+		if name != "sw" && c >= cells["sw"] {
+			t.Errorf("kernel %s cells (%g) should be below sw (%g)", name, c, cells["sw"])
+		}
+	}
+	if cells["ug"] >= cells["wfa"] {
+		t.Errorf("ug cells (%g) should be below wfa (%g)", cells["ug"], cells["wfa"])
 	}
 }
 

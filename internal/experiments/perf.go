@@ -14,13 +14,14 @@ type pastisVariant struct {
 	cfg   core.Config
 }
 
-// fig12Variants are the eight PASTIS configurations of Fig. 12:
-// {SW, XD} x {s=0, s=25} x {plain, CK}, with the paper's CK thresholds
-// (t=1 for exact k-mers, t=3 for substitute k-mers).
+// fig12Variants are the PASTIS configurations of Fig. 12 generalized to
+// every registered alignment kernel: {registered kernels} x {s=0, s=25} x
+// {plain, CK}, with the paper's CK thresholds (t=1 for exact k-mers, t=3
+// for substitute k-mers). The paper's eight variants are the sw/xd subset.
 func fig12Variants(subs int) []pastisVariant {
 	base := core.DefaultConfig()
 	var out []pastisVariant
-	for _, mode := range []core.AlignMode{core.AlignSW, core.AlignXDrop} {
+	for _, mode := range core.KernelModes() {
 		for _, s := range []int{0, subs} {
 			for _, ck := range []bool{false, true} {
 				cfg := base

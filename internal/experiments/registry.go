@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"ablations", "design-choice ablations", Ablations},
 		{"threads", "intra-rank thread scaling (hybrid parallelism)", ThreadScaling},
 		{"blocked", "memory-bounded wave pipeline (peak bytes vs blocks)", BlockedWaves},
+		{"kernels", "alignment-kernel comparison (cells, time, recall)", Kernels},
 	}
 }
 

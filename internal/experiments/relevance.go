@@ -96,14 +96,21 @@ func Fig17(sc Scale) (*Table, error) {
 	}
 	n := len(data.Records)
 
-	for _, rr := range []relevanceRun{
-		{core.AlignSW, 0, false}, {core.AlignSW, 10, false},
-		{core.AlignSW, 25, false}, {core.AlignSW, 50, false},
-		{core.AlignXDrop, 0, false}, {core.AlignXDrop, 10, false},
-		{core.AlignXDrop, 25, false}, {core.AlignXDrop, 50, false},
-		{core.AlignSW, 0, true}, {core.AlignSW, 25, true},
-		{core.AlignXDrop, 0, true}, {core.AlignXDrop, 25, true},
-	} {
+	// Every registered kernel joins the sweep (the paper's Fig. 17 covers
+	// SW and XD; wfa and ug extend the same grid): the full substitute
+	// sweep without CK, plus the paper's s={0,25} CK points.
+	var runs []relevanceRun
+	for _, mode := range core.KernelModes() {
+		for _, subs := range []int{0, 10, 25, 50} {
+			runs = append(runs, relevanceRun{mode, subs, false})
+		}
+	}
+	for _, mode := range core.KernelModes() {
+		for _, subs := range []int{0, 25} {
+			runs = append(runs, relevanceRun{mode, subs, true})
+		}
+	}
+	for _, rr := range runs {
 		res, _, err := runPastis(data.Records, relevanceNodes, rr.config())
 		if err != nil {
 			return nil, err
@@ -188,7 +195,7 @@ func Table2(sc Scale) (*Table, error) {
 	}
 	n := len(data.Records)
 
-	for _, mode := range []core.AlignMode{core.AlignSW, core.AlignXDrop} {
+	for _, mode := range core.KernelModes() {
 		for _, subs := range []int{0, 10, 25, 50} {
 			rr := relevanceRun{mode: mode, subs: subs}
 			res, _, err := runPastis(data.Records, relevanceNodes, rr.config())

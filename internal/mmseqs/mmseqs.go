@@ -148,6 +148,10 @@ func Run(comm *mpi.Comm, recs []fasta.Record, cfg Config) ([]core.Edge, Stats, e
 	expense := scoring.NewExpense(scoring.BLOSUM62)
 	budget := similarKmerBudget(cfg.Sensitivity)
 	sc := align.Scoring{Matrix: scoring.BLOSUM62, GapOpen: cfg.GapOpen, GapExtend: cfg.GapExtend}
+	// One Aligner reused across the whole query loop: the ungapped and
+	// gapped passes run without per-call DP-buffer allocations (the same
+	// buffer-reuse contract the pipeline's per-worker kernels rely on).
+	al := align.NewAligner()
 
 	var edges []core.Edge
 	var cells int64
@@ -205,8 +209,8 @@ func Run(comm *mpi.Comm, recs []fasta.Record, cfg Config) ([]core.Edge, Stats, e
 				continue
 			}
 			stats.Ungapped++
-			ug := align.UngappedExtend(qCodes, tCodes, qPos, tPos, cfg.K, sc, 20)
-			cells += int64(ug.AlignLen)
+			ug := al.UngappedExtend(qCodes, tCodes, qPos, tPos, cfg.K, sc, 20)
+			cells += ug.Cells
 			if ug.Score < cfg.UngappedThreshold {
 				continue
 			}
@@ -216,7 +220,7 @@ func Run(comm *mpi.Comm, recs []fasta.Record, cfg Config) ([]core.Edge, Stats, e
 		}
 		for target := range best {
 			stats.Gapped++
-			res := align.SmithWaterman(qCodes, seqs[target], sc)
+			res := al.SmithWaterman(qCodes, seqs[target], sc)
 			cells += res.Cells
 			lenQ, lenT := len(qCodes), len(seqs[target])
 			ident, cov := res.Identity(), res.CoverageShorter(lenQ, lenT)

@@ -7,8 +7,13 @@
 // sequences: sequences are decomposed into k-mers forming the sparse matrix
 // A; candidate pairs are the nonzeros of B = A·Aᵀ (exact k-mer matching) or
 // (A·S)·Aᵀ where S maps each k-mer to its m nearest substitute k-mers under
-// BLOSUM62; candidates are verified with Smith-Waterman or x-drop
-// seed-extension alignment and filtered by identity and coverage.
+// BLOSUM62; candidates are verified by a pluggable alignment kernel —
+// Smith-Waterman (sw), x-drop seed extension (xd), adaptive wavefront
+// alignment (wfa), or ungapped seed extension (ug), selected by name via
+// Config.Align — and filtered by identity and coverage. Kernels report the
+// DP cells they actually compute, so the virtual clock charges each
+// kernel's true cost (wfa's wavefront cost is near-linear on the
+// high-identity pairs that dominate the candidate set).
 //
 // Because Go has no MPI, the distributed runtime is simulated: ranks are
 // goroutines exchanging messages through the internal mpi substrate, and a
@@ -68,7 +73,7 @@ type (
 	Edge = core.Edge
 	// Stats carries pipeline counters (nonzeros, alignments, edges).
 	Stats = core.Stats
-	// AlignMode selects Smith-Waterman or x-drop seed extension.
+	// AlignMode selects the pairwise alignment kernel by registry name.
 	AlignMode = core.AlignMode
 	// WeightMode selects ANI or normalized-score edge weights.
 	WeightMode = core.WeightMode
@@ -80,14 +85,31 @@ type (
 	CostModel = mpi.CostModel
 )
 
-// Alignment and weighting mode constants.
+// Alignment and weighting mode constants. Alignment modes name kernels in
+// the align package's registry: sw (Smith-Waterman), xd (x-drop seed
+// extension), wfa (adaptive wavefront), ug (ungapped seed extension); any
+// kernel registered via align.RegisterKernel is equally valid as an
+// AlignMode value.
 const (
-	AlignXDrop = core.AlignXDrop
-	AlignSW    = core.AlignSW
-	AlignNone  = core.AlignNone
-	WeightANI  = core.WeightANI
-	WeightNS   = core.WeightNS
+	AlignXDrop    = core.AlignXDrop
+	AlignSW       = core.AlignSW
+	AlignWFA      = core.AlignWFA
+	AlignUngapped = core.AlignUngapped
+	AlignNone     = core.AlignNone
+	WeightANI     = core.WeightANI
+	WeightNS      = core.WeightNS
 )
+
+// Kernels lists the registered alignment-kernel names (valid Config.Align
+// values besides AlignNone) in registration order.
+func Kernels() []string {
+	modes := core.KernelModes()
+	names := make([]string, len(modes))
+	for i, m := range modes {
+		names[i] = string(m)
+	}
+	return names
+}
 
 // DefaultConfig mirrors the paper's main configuration: k=6, BLOSUM62 with
 // gap open 11/extend 1, x-drop 49, ANI >= 30%, coverage >= 70%, serial

@@ -9,6 +9,12 @@
 // (Smith-Waterman), xd (x-drop seed extension, the default), wfa (adaptive
 // wavefront; fastest on high-identity candidate sets), ug (ungapped seed
 // extension, cheapest) — or none to skip alignment for matrix-only runs.
+// Cascade specs compose kernels into a staged filter: "-align ug+wfa" runs
+// the cheap ungapped prefilter on every candidate pair and re-aligns only
+// the survivors with the wavefront kernel (any "stage+stage" combination
+// of registered kernels works, with an optional "stage:score" gate
+// threshold, e.g. "ug:60+sw"). With -stats, cascade runs print the
+// per-stage pair and DP-cell breakdown.
 //
 // The output is a tab-separated edge list: the names of the two sequences,
 // the edge weight, identity, coverage, normalized score and raw score.
@@ -33,7 +39,8 @@ func main() {
 		k       = flag.Int("k", 6, "k-mer length")
 		subs    = flag.Int("subs", 0, "substitute k-mers per k-mer (0 = exact matching)")
 		alignFl = flag.String("align", "xd",
-			"alignment kernel: "+strings.Join(pastis.Kernels(), "|")+", or none")
+			"alignment kernel: "+strings.Join(pastis.Kernels(), "|")+
+				", a cascade spec (e.g. ug:60+sw), or none")
 		weight  = flag.String("weight", "ani", "edge weight: ani or ns")
 		ck      = flag.Int("ck", 0, "common k-mer threshold (0 = off; paper: 1 exact / 3 subs)")
 		minID   = flag.Float64("min-identity", 0.30, "ANI filter: minimum identity")
@@ -115,6 +122,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nnz(B):         %d (pruned: %d)\n", s.NNZB, s.NNZBPruned)
 		fmt.Fprintf(os.Stderr, "pairs aligned:  %d\n", s.PairsAligned)
 		fmt.Fprintf(os.Stderr, "dp cells:       %d (%s kernel)\n", s.CellsComputed, *alignFl)
+		for i, sp := range s.PairsPerStage {
+			role := "prefilter"
+			if i == len(s.PairsPerStage)-1 {
+				role = "rescue"
+			}
+			fmt.Fprintf(os.Stderr, "  stage %-4s    %-9s  examined %d  passed %d  rejected %d  cells %d\n",
+				sp.Name, role, sp.Examined, sp.Passed, sp.Rejected, s.CellsPerStage[i])
+		}
 		fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
 		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
 		fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)

@@ -1,0 +1,82 @@
+package pastis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches the target of a markdown inline link: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// Every file referenced from README.md and docs/*.md must exist — the
+// docs-link gate CI runs, so the docs layer cannot silently rot as files
+// move. External URLs and pure in-page anchors are skipped; anchors on
+// file links are checked against the target file's headings.
+func TestDocsLinksResolve(t *testing.T) {
+	sources, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources = append(sources, "README.md")
+	checked := 0
+	for _, src := range sources {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, anchor, _ := strings.Cut(target, "#")
+			path := filepath.Join(filepath.Dir(src), target)
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Errorf("%s links to %q: %v", src, m[1], err)
+				continue
+			}
+			checked++
+			if anchor != "" && !info.IsDir() && strings.HasSuffix(path, ".md") {
+				if !hasAnchor(t, path, anchor) {
+					t.Errorf("%s links to %q: no heading matches anchor #%s", src, m[1], anchor)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no local doc links found; the link check is checking nothing")
+	}
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals the anchor. Lines inside fenced code blocks are
+// not headings (shell comments start with '#' too).
+func hasAnchor(t *testing.T, path, anchor string) bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonSlug := regexp.MustCompile(`[^a-z0-9 -]`)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		h := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		slug := nonSlug.ReplaceAllString(strings.ToLower(h), "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		if slug == anchor {
+			return true
+		}
+	}
+	return false
+}

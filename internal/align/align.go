@@ -1,8 +1,26 @@
 // Package align implements the pairwise protein alignment kernels PASTIS
-// offloads to SeqAn (paper Section IV-E): Smith-Waterman local alignment
-// with affine gaps (Gotoh) and seed-and-extend alignment with gapped x-drop
-// termination, plus the alignment statistics the similarity filter needs
-// (identity/ANI, shorter-sequence coverage, normalized score NS).
+// offloads to SeqAn (paper Section IV-E) behind a pluggable registry.
+//
+// The built-in kernels are Smith-Waterman local alignment with affine gaps
+// (Gotoh; "sw"), seed-and-extend alignment with gapped x-drop termination
+// ("xd"), adaptive wavefront alignment (WFA/WFA-Adapt; "wfa"), and
+// ungapped diagonal seed extension (the MMseqs2 prefilter score; "ug").
+// Each implements the Kernel interface — one instance per pipeline worker,
+// reusable scratch buffers, and per-kernel DP-cell accounting
+// (CellsComputed) so the virtual clock charges every kernel its true
+// sparse cost. RegisterKernel makes a kernel a pipeline alignment mode
+// everywhere (core.Config.Align, the -align flag, experiment sweeps,
+// benchmarks) with no further wiring.
+//
+// Kernels also compose into staged cascades (Cascade, cascade.go): a spec
+// string like "ug+wfa" or "ug:60+sw" names an ordered prefilter → rescue
+// chain in which pairs dismissed by a cheap stage never reach the
+// expensive one. KernelFactory resolves cascade specs exactly like
+// registered names.
+//
+// The package also provides the alignment statistics the similarity
+// filter needs (identity/ANI, shorter-sequence coverage, normalized score
+// NS) on the shared Result type.
 package align
 
 import (

@@ -2,6 +2,7 @@ package align
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/alphabet"
@@ -17,12 +18,22 @@ type Seed struct {
 	K          int
 }
 
-// Params bundles the per-run parameters a kernel may consult. Kernels read
-// only what applies to them: seedless kernels (sw, wfa) ignore XDrop, the
+// Params bundles the parameters a kernel may consult. Kernels read only
+// what applies to them: seedless kernels (sw, wfa) ignore XDrop, the
 // extension kernels (xd, ug) use it as their termination threshold.
+//
+// Scoring and XDrop are per-run; SharedKmers is per-pair evidence the
+// pipeline fills in before each Align call: the candidate pair's shared
+// k-mer count (the Overlap.Count the common-k-mer filter thresholds), or
+// 0 when unknown. Cascades use it as a rescue override — a pair sharing
+// many k-mers is homologous even when its two retained seeds happen to
+// lie off the true alignment diagonal and the ungapped prefilter scores
+// it like noise (repeated k-mers pair first occurrences across the
+// sequences, which need not correspond).
 type Params struct {
-	Scoring Scoring
-	XDrop   int
+	Scoring     Scoring
+	XDrop       int
+	SharedKmers int
 }
 
 // DefaultParams mirrors the paper's alignment configuration (BLOSUM62,
@@ -80,15 +91,21 @@ func RegisterKernel(factory func() Kernel) {
 	kernelRegistry.order = append(kernelRegistry.order, name)
 }
 
-// KernelFactory returns the factory registered under name.
+// KernelFactory returns the factory registered under name. Names
+// containing '+' that are not themselves registered resolve as cascade
+// specs (ParseCascade): "ug:60+sw" is a valid kernel name everywhere a
+// registered one is, without needing registration.
 func KernelFactory(name string) (func() Kernel, error) {
 	kernelRegistry.mu.RLock()
-	defer kernelRegistry.mu.RUnlock()
 	f, ok := kernelRegistry.factories[name]
-	if !ok {
-		return nil, fmt.Errorf("align: unknown kernel %q (registered: %v)", name, kernelNamesLocked())
+	kernelRegistry.mu.RUnlock()
+	if ok {
+		return f, nil
 	}
-	return f, nil
+	if strings.Contains(name, "+") {
+		return ParseCascade(name)
+	}
+	return nil, fmt.Errorf("align: unknown kernel %q (registered: %v)", name, Kernels())
 }
 
 // NewKernel instantiates the kernel registered under name.
@@ -101,7 +118,7 @@ func NewKernel(name string) (Kernel, error) {
 }
 
 // Kernels lists the registered kernel names in registration order
-// (sw, xd, wfa, ug for the built-ins).
+// (sw, xd, wfa, ug, then the canonical ug+wfa cascade for the built-ins).
 func Kernels() []string {
 	kernelRegistry.mu.RLock()
 	defer kernelRegistry.mu.RUnlock()
@@ -117,6 +134,10 @@ func init() {
 	RegisterKernel(func() Kernel { return &xdKernel{al: NewAligner()} })
 	RegisterKernel(func() Kernel { return newWFAKernel() })
 	RegisterKernel(func() Kernel { return &ugKernel{al: NewAligner()} })
+	// The canonical staged cascade (cascade.go): ungapped prefilter, wavefront
+	// rescue — registered so kernel sweeps exercise a cascade; other specs
+	// ("ug+sw", "ug:60+xd", ...) resolve dynamically through KernelFactory.
+	RegisterKernel(MustCascade("ug+wfa"))
 }
 
 // swKernel is full Smith-Waterman local alignment (PASTIS-SW): exact and

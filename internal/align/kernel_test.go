@@ -38,7 +38,7 @@ func aniAccept(r Result, lenA, lenB int) bool {
 
 func TestKernelRegistry(t *testing.T) {
 	names := Kernels()
-	want := []string{"sw", "xd", "wfa", "ug"}
+	want := []string{"sw", "xd", "wfa", "ug", "ug+wfa"}
 	if len(names) != len(want) {
 		t.Fatalf("registered kernels %v, want %v", names, want)
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/spmat"
+	"repro/internal/synth"
+)
+
+// cascadeDataset is the staged-filter regime: high-identity families whose
+// pairs any kernel accepts, plus enough unrelated sequences that — with
+// substitute k-mers widening the candidate set — most candidate pairs are
+// chance collisions a cheap ungapped pass dismisses instantly.
+func cascadeDataset(t testing.TB, seed int64) *synth.Labeled {
+	t.Helper()
+	data, err := synth.Generate(synth.Config{
+		Seed: seed, NumFamilies: 5, MembersMean: 5, Singletons: 95,
+		MinLen: 140, MaxLen: 240, Divergence: 0.05, IndelRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// The ug+sw cascade must reproduce the pure-sw similarity graph — bitwise,
+// weights and all — at >=3x fewer total DP cells, for every Threads x
+// Blocks combination (the cascade's per-worker stage instances and the
+// wave pipeline must not perturb the gate decisions or the accounting).
+func TestCascadeMatchesPureKernel(t *testing.T) {
+	data := cascadeDataset(t, 67)
+	cfg := DefaultConfig()
+	cfg.Align = AlignSW
+	cfg.SubstituteKmers = 20
+	pureEdges, pureStats, _ := runPipeline(t, data.Records, 4, cfg)
+	if len(pureEdges) == 0 {
+		t.Fatal("pure sw found no edges; dataset too sparse")
+	}
+	if len(pureStats.PairsPerStage) != 0 || len(pureStats.CellsPerStage) != 0 {
+		t.Fatalf("primitive kernel reported a stage breakdown: %+v", pureStats.PairsPerStage)
+	}
+
+	cfg.Align = "ug+sw"
+	variants := []struct{ threads, blocks int }{
+		{1, 1}, {4, 1}, {1, 4}, {8, 2}, {3, 8},
+	}
+	if testing.Short() {
+		variants = variants[:3]
+	}
+	var ref Stats
+	for _, variant := range variants {
+		cfg.Threads, cfg.Blocks = variant.threads, variant.blocks
+		edges, stats, _ := runPipeline(t, data.Records, 4, cfg)
+		if len(edges) != len(pureEdges) {
+			t.Fatalf("threads=%d blocks=%d: %d edges vs pure sw %d",
+				variant.threads, variant.blocks, len(edges), len(pureEdges))
+		}
+		for i := range pureEdges {
+			if edges[i] != pureEdges[i] {
+				t.Fatalf("threads=%d blocks=%d: edge %d differs: %+v vs %+v",
+					variant.threads, variant.blocks, i, edges[i], pureEdges[i])
+			}
+		}
+		if variant.threads == 1 && variant.blocks == 1 {
+			ref = stats
+			t.Logf("pairs=%d cells: sw=%d cascade=%d (%.1fx) stages=%+v",
+				stats.PairsAligned, pureStats.CellsComputed, stats.CellsComputed,
+				float64(pureStats.CellsComputed)/float64(stats.CellsComputed), stats.PairsPerStage)
+			continue
+		}
+		if !statsEqual(stats, ref) {
+			t.Fatalf("threads=%d blocks=%d: stats %+v differ from serial %+v",
+				variant.threads, variant.blocks, stats, ref)
+		}
+	}
+
+	// The cascade's whole claim: the same graph at >=3x fewer DP cells.
+	if ref.CellsComputed*3 > pureStats.CellsComputed {
+		t.Errorf("cascade cells %d not >=3x below pure sw %d (%.1fx)",
+			ref.CellsComputed, pureStats.CellsComputed,
+			float64(pureStats.CellsComputed)/float64(ref.CellsComputed))
+	}
+
+	// Stage-breakdown invariants.
+	if len(ref.PairsPerStage) != 2 || len(ref.CellsPerStage) != 2 {
+		t.Fatalf("stage breakdown %+v / %v", ref.PairsPerStage, ref.CellsPerStage)
+	}
+	pre, rescue := ref.PairsPerStage[0], ref.PairsPerStage[1]
+	if pre.Name != "ug" || rescue.Name != "sw" {
+		t.Fatalf("stage names %+v", ref.PairsPerStage)
+	}
+	if pre.Examined != ref.PairsAligned {
+		t.Errorf("prefilter examined %d of %d aligned pairs", pre.Examined, ref.PairsAligned)
+	}
+	if pre.Rejected <= 0 {
+		t.Errorf("prefilter rejected no pairs: %+v", pre)
+	}
+	if pre.Examined != pre.Passed+pre.Rejected {
+		t.Errorf("prefilter counts inconsistent: %+v", pre)
+	}
+	if rescue.Examined != pre.Passed || rescue.Passed != rescue.Examined || rescue.Rejected != 0 {
+		t.Errorf("rescue counts inconsistent: prefilter %+v rescue %+v", pre, rescue)
+	}
+	if ref.CellsPerStage[0]+ref.CellsPerStage[1] != ref.CellsComputed {
+		t.Errorf("per-stage cells %v do not sum to total %d", ref.CellsPerStage, ref.CellsComputed)
+	}
+}
+
+// Under NS weighting — which keeps every positive-scoring pair, so it
+// cannot rely on the coverage cutoff to discard junk — gate-dismissed
+// pairs must still yield no edge (the cascade returns the zero Result for
+// them): the cascade's NS graph is exactly the pure kernel's restricted
+// to rescued pairs, with bitwise-identical edges on those pairs.
+func TestCascadeNSWeighting(t *testing.T) {
+	data := cascadeDataset(t, 67)
+	cfg := DefaultConfig()
+	cfg.Weight = WeightNS
+	cfg.SubstituteKmers = 20
+	cfg.Align = AlignSW
+	pure, _, _ := runPipeline(t, data.Records, 4, cfg)
+	cfg.Align = "ug+sw"
+	cas, stats, _ := runPipeline(t, data.Records, 4, cfg)
+
+	if len(cas) == 0 {
+		t.Fatal("cascade kept no NS edges")
+	}
+	if int64(len(pure)-len(cas)) != stats.PairsPerStage[0].Rejected {
+		t.Errorf("NS edges: pure %d - cascade %d should equal the %d gate-dismissed pairs",
+			len(pure), len(cas), stats.PairsPerStage[0].Rejected)
+	}
+	byPair := map[[2]spmat.Index]Edge{}
+	for _, e := range pure {
+		byPair[[2]spmat.Index{e.R, e.C}] = e
+	}
+	for _, e := range cas {
+		want, ok := byPair[[2]spmat.Index{e.R, e.C}]
+		if !ok {
+			t.Fatalf("cascade NS edge %+v absent from pure sw graph", e)
+		}
+		if e != want {
+			t.Fatalf("cascade NS edge differs from pure sw: %+v vs %+v", e, want)
+		}
+	}
+}

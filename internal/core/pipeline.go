@@ -154,6 +154,7 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	stats.NNZBPruned = comm.AllreduceInt64("sum", w.nnzPruned)
 	stats.PairsAligned = w.aligned
 	stats.CellsComputed = comm.AllreduceInt64("sum", w.cells)
+	reduceStageStats(comm, cfg, w.stages, &stats)
 
 	res := &Result{Edges: w.edges}
 
@@ -164,6 +165,42 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	stats.EdgesKept = comm.AllreduceInt64("sum", int64(len(res.Edges)))
 	res.Stats = stats
 	return res, nil
+}
+
+// reduceStageStats fills Stats.PairsPerStage/CellsPerStage with the
+// cluster-wide per-stage breakdown of a cascade run (no-op for primitive
+// kernels and AlignNone). The stage template — names and count — is derived
+// from cfg alone so every rank issues the same Allreduce sequence even when
+// some ranks aligned no pairs at all (their local tallies are empty).
+func reduceStageStats(comm *mpi.Comm, cfg Config, local []align.StageStats, stats *Stats) {
+	if cfg.Align == AlignNone {
+		return
+	}
+	factory, err := align.KernelFactory(string(cfg.Align))
+	if err != nil {
+		return // unreachable after validate; stage stats are best-effort
+	}
+	staged, ok := factory().(align.StagedKernel)
+	if !ok {
+		return
+	}
+	template := staged.StageStats() // fresh instance: zero counters, names set
+	stats.PairsPerStage = make([]StagePairs, len(template))
+	stats.CellsPerStage = make([]int64, len(template))
+	for i, st := range template {
+		var examined, passed, cells int64
+		if i < len(local) {
+			examined, passed, cells = local[i].Examined, local[i].Passed, local[i].Cells
+		}
+		sp := StagePairs{
+			Name:     st.Name,
+			Examined: comm.AllreduceInt64("sum", examined),
+			Passed:   comm.AllreduceInt64("sum", passed),
+		}
+		sp.Rejected = sp.Examined - sp.Passed
+		stats.PairsPerStage[i] = sp
+		stats.CellsPerStage[i] = comm.AllreduceInt64("sum", cells)
+	}
 }
 
 func validate(cfg Config) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -8,6 +9,10 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/synth"
 )
+
+// statsEqual compares Stats including the per-stage slices (Stats stopped
+// being ==-comparable when the cascade breakdown fields were added).
+func statsEqual(a, b Stats) bool { return reflect.DeepEqual(a, b) }
 
 // runPipeline executes the pipeline on p ranks over the records and returns
 // the gathered edges (sorted) plus stats and the cluster for timing probes.
@@ -165,7 +170,7 @@ func TestThreadCountOblivious(t *testing.T) {
 					ref, refStats = edges, stats
 					continue
 				}
-				if stats != refStats {
+				if !statsEqual(stats, refStats) {
 					t.Fatalf("mode=%v subs=%d threads=%d batch=%d: stats %+v differ from serial %+v",
 						mode, subs, variant.threads, variant.batch, stats, refStats)
 				}
@@ -262,7 +267,7 @@ func TestBlocksOblivious(t *testing.T) {
 				ref, refStats = edges, stats
 				continue
 			}
-			if stats != refStats {
+			if !statsEqual(stats, refStats) {
 				t.Fatalf("subs=%d blocks=%d threads=%d: stats %+v differ from reference %+v",
 					subs, variant.blocks, variant.threads, stats, refStats)
 			}

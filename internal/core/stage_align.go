@@ -24,10 +24,11 @@ const (
 // run; the tallies feed the wave driver's overlap lane and memory ledger.
 type panelResult struct {
 	edges     []Edge
-	aligned   int64 // pairs aligned in this panel
-	cells     int64 // DP cells computed
-	nnzB      int64 // local nonzeros of the (symmetrized) panel
-	nnzPruned int64 // after the common-k-mer prune
+	aligned   int64              // pairs aligned in this panel
+	cells     int64              // DP cells computed
+	stages    []align.StageStats // per-stage breakdown (cascade kernels only)
+	nnzB      int64              // local nonzeros of the (symmetrized) panel
+	nnzPruned int64              // after the common-k-mer prune
 	serialOps float64
 	parOps    float64
 	scratch   int64 // transient bytes the task materialized
@@ -74,8 +75,8 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 		return res
 	}
 
-	edges, aligned, cells, err := alignPanel(bp.Grid, pruned, bp.RowOffset(), bp.ColOffset(), store, cfg)
-	res.edges, res.aligned, res.cells, res.err = edges, aligned, cells, err
+	edges, aligned, cells, stages, err := alignPanel(bp.Grid, pruned, bp.RowOffset(), bp.ColOffset(), store, cfg)
+	res.edges, res.aligned, res.cells, res.stages, res.err = edges, aligned, cells, stages, err
 	res.parOps += float64(cells) * opsPerDPCell
 	return res
 }
@@ -97,13 +98,16 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 // The batch loop is kernel-oblivious: cfg.Align resolves a factory from the
 // align package's registry, every pair dispatches through align.Kernel, and
 // the cells charged to the virtual clock come from the kernels' own
-// CellsComputed accounting (per-chunk deltas, summed in batch order).
+// CellsComputed accounting (per-chunk deltas, summed in batch order). When
+// the kernel is a staged cascade, the per-stage pair/cell tallies of every
+// worker instance are additionally summed into one per-stage breakdown for
+// the panel (plain integer sums, so the result is thread-count oblivious).
 func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index,
-	store *seqstore.Store, cfg Config) ([]Edge, int64, int64, error) {
+	store *seqstore.Store, cfg Config) ([]Edge, int64, int64, []align.StageStats, error) {
 
 	kernelFor, err := align.KernelFactory(string(cfg.Align))
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, nil, err
 	}
 	onOrAboveDiag := g.MyRow <= g.MyCol
 
@@ -129,7 +133,7 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 		cands = append(cands, t)
 	}
 	if len(cands) == 0 {
-		return nil, 0, 0, nil
+		return nil, 0, 0, nil, nil
 	}
 
 	batch := cfg.BatchSize
@@ -187,13 +191,23 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 	var aligned, cells int64
 	for i := range outs {
 		if outs[i].err != nil {
-			return nil, 0, 0, outs[i].err
+			return nil, 0, 0, nil, outs[i].err
 		}
 		edges = append(edges, outs[i].edges...)
 		aligned += outs[i].aligned
 		cells += outs[i].cells
 	}
-	return edges, aligned, cells, nil
+
+	// Per-stage breakdown: sum the stage tallies of every worker's kernel
+	// instance. Field-wise int64 sums commute, so the totals are identical
+	// for any thread count and batch size.
+	var stages []align.StageStats
+	for i := range workers {
+		if sk, ok := workers[i].kernel.(align.StagedKernel); ok {
+			stages = align.MergeStageStats(stages, sk.StageStats())
+		}
+	}
+	return edges, aligned, cells, stages, nil
 }
 
 // alignPair aligns one candidate pair on the given worker-local kernel and
@@ -223,10 +237,13 @@ func alignPair(k align.Kernel, params align.Params, seedScratch []align.Seed,
 	if swapped {
 		aCodes, bCodes = bCodes, aCodes
 	}
-	// Hand the kernel the overlap's seeds in the chosen orientation; the
-	// kernel decides whether it needs them.
+	// Hand the kernel the overlap's seeds in the chosen orientation plus
+	// the pair's shared-k-mer evidence; the kernel decides what it needs
+	// (cascades use the count as a rescue override for off-diagonal seeds,
+	// primitive kernels ignore it).
 	seeds := seedScratch[:0]
 	ov := t.Val
+	params.SharedKmers = int(ov.Count)
 	for si := int32(0); si < ov.NumSeeds; si++ {
 		seedA, seedB := int(ov.Seeds[si].PosR), int(ov.Seeds[si].PosC)
 		if swapped {

@@ -3,6 +3,18 @@
 // detection via SpGEMM with custom semirings, overlapped sequence exchange,
 // pairwise alignment with the computation-to-data upper-triangle assignment,
 // and the similarity filter that yields the protein similarity graph.
+//
+// The pipeline is organized as memory-bounded waves (stage_overlap.go +
+// wave.go): the candidate matrix streams through Config.Blocks column
+// panels, and each panel's pruning, symmetrization and batched alignment
+// (stage_align.go) overlap the next panel's SUMMA stages. Alignment
+// dispatches through the align package's kernel registry — Config.Align
+// names a primitive kernel ("sw", "xd", "wfa", "ug") or a staged cascade
+// spec ("ug+wfa"); cascade runs surface per-stage pair and cell
+// breakdowns in Stats. The similarity graph is bit-identical for every
+// rank count × thread count × batch size × wave count (the paper's
+// reproducibility property). docs/ARCHITECTURE.md walks the dataflow;
+// docs/COST_MODEL.md explains how the stages charge the virtual clock.
 package core
 
 import (
@@ -15,12 +27,13 @@ import (
 )
 
 // AlignMode selects the pairwise alignment kernel by name (paper Section
-// IV-E). Valid values are AlignNone and the names in the align package's
-// kernel registry — the built-ins below plus anything registered via
-// align.RegisterKernel — so new kernels become pipeline modes without
-// touching this package. The zero value ("") is invalid, consistent with
-// the zero Config being unrunnable: validation rejects it with the
-// registered-kernel list; start from DefaultConfig.
+// IV-E). Valid values are AlignNone and the names the align package's
+// KernelFactory resolves — the built-ins below, anything registered via
+// align.RegisterKernel, and staged cascade specs composing registered
+// kernels ("ug+wfa", "ug:60+sw") — so new kernels and kernel combinations
+// become pipeline modes without touching this package. The zero value ("")
+// is invalid, consistent with the zero Config being unrunnable: validation
+// rejects it with the registered-kernel list; start from DefaultConfig.
 type AlignMode string
 
 const (
@@ -42,6 +55,8 @@ const (
 	AlignNone AlignMode = "none"
 )
 
+// String renders the mode for labels and logs: kernel names upper-cased
+// ("SW", "UG+WFA"), AlignNone as "none".
 func (m AlignMode) String() string {
 	if m == AlignNone {
 		return "none"
@@ -72,6 +87,7 @@ const (
 	WeightNS
 )
 
+// String returns the paper's name for the weighting scheme (ANI or NS).
 func (m WeightMode) String() string {
 	if m == WeightNS {
 		return "NS"
@@ -352,6 +368,28 @@ type Stats struct {
 	// like wfa are billed their sparse cost.
 	CellsComputed int64
 	EdgesKept     int64 // pairs surviving the similarity filter
+
+	// PairsPerStage and CellsPerStage break the alignment work down by
+	// cascade stage when Config.Align names a staged cascade ("ug+wfa");
+	// both are nil for primitive kernels and AlignNone. The slices are
+	// parallel — PairsPerStage[i] and CellsPerStage[i] describe stage i —
+	// and CellsPerStage sums to CellsComputed. Like every other Stats
+	// counter they are global (reduced across ranks, identical everywhere).
+	PairsPerStage []StagePairs
+	CellsPerStage []int64
+}
+
+// StagePairs is the pair accounting of one cascade stage: of the Examined
+// pairs the stage aligned, Passed cleared its gate (and were re-aligned —
+// rescued — by the next stage, whose Examined therefore equals this
+// stage's Passed) and Rejected were dismissed with no edge. The final
+// stage has no gate: all its pairs count as Passed and Rejected is 0 (the
+// similarity filter, not the cascade, judges them).
+type StagePairs struct {
+	Name     string // stage kernel name (ug, sw, xd, wfa)
+	Examined int64
+	Passed   int64
+	Rejected int64
 }
 
 // Result is the outcome of one pipeline run on one rank.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/align"
 	"repro/internal/dmat"
 	"repro/internal/mpi"
 	"repro/internal/seqstore"
@@ -36,6 +37,7 @@ type wave struct {
 
 	// Local accumulators, reduced once after the drain.
 	nnzB, nnzPruned, aligned, cells int64
+	stages                          []align.StageStats // cascade kernels only
 }
 
 // panelFuture is one in-flight wave.
@@ -97,6 +99,16 @@ func (w *wave) collect() error {
 	w.laneT += d
 	if w.cfg.Align != AlignNone {
 		w.clock.CreditSection(SectionAlign, w.clock.ParOpsDuration(float64(res.cells)*opsPerDPCell))
+		// Cascade runs additionally attribute each stage's share of the
+		// align component to an "align:<stage>" sub-section, so dissection
+		// ledgers show where the staged filter actually spends its time
+		// (prefilter vs rescue). The parent SectionAlign credit above stays
+		// the total — sub-sections accumulate independently, they are not
+		// summed into their parent.
+		for _, st := range res.stages {
+			w.clock.CreditSection(mpi.SubSectionName(SectionAlign, st.Name),
+				w.clock.ParOpsDuration(float64(st.Cells)*opsPerDPCell))
+		}
 	}
 
 	w.edges = append(w.edges, res.edges...)
@@ -104,6 +116,7 @@ func (w *wave) collect() error {
 	w.nnzPruned += res.nnzPruned
 	w.aligned += res.aligned
 	w.cells += res.cells
+	w.stages = align.MergeStageStats(w.stages, res.stages)
 	return nil
 }
 

@@ -62,8 +62,8 @@ func TestSquareAtMost(t *testing.T) {
 }
 
 func TestGetRegistry(t *testing.T) {
-	if len(All()) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(All()))
 	}
 	if _, err := Get("fig12"); err != nil {
 		t.Error(err)
@@ -292,6 +292,45 @@ func TestKernelsExperimentShape(t *testing.T) {
 	}
 	if cells["ug"] >= cells["wfa"] {
 		t.Errorf("ug cells (%g) should be below wfa (%g)", cells["ug"], cells["wfa"])
+	}
+}
+
+// Cascade: the experiment itself asserts the acceptance contract (ug+sw
+// graph identical to pure sw at >=3x fewer cells, nonzero prefilter
+// rejects) on both workloads, so a clean run is the real check. The shape
+// assertions cover the rest: cascade rows carry a stage breakdown, pure
+// rows do not, and the registered ug+wfa cascade undercuts pure wfa.
+func TestCascadeExperimentShape(t *testing.T) {
+	sc := testScale()
+	defer Reset()
+	tb, err := CascadeStaged(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows: workload, mode, nodes, total_s, align_s, dp_cells, cells_vs_sw,
+	// examined, pre_reject, rescued, edges
+	cells := map[string]float64{}
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[1]
+		var c float64
+		if _, err := fmtSscan(row[5], &c); err != nil {
+			t.Fatal(err)
+		}
+		cells[key] = c
+		isCascade := row[1] == "ug+sw" || row[1] == "ug+wfa"
+		if hasStages := row[8] != "-"; hasStages != isCascade {
+			t.Errorf("%s: stage breakdown presence = %v, want %v (row %v)",
+				key, hasStages, isCascade, row)
+		}
+	}
+	for _, wl := range []string{"high-identity", "moderate"} {
+		if cells[wl+"/ug+wfa"] <= 0 || cells[wl+"/wfa"] <= 0 {
+			t.Fatalf("missing rows for workload %s: %v", wl, tb.Rows)
+		}
+		if cells[wl+"/ug+wfa"] >= cells[wl+"/wfa"] {
+			t.Errorf("%s: ug+wfa cells (%g) should undercut pure wfa (%g)",
+				wl, cells[wl+"/ug+wfa"], cells[wl+"/wfa"])
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"threads", "intra-rank thread scaling (hybrid parallelism)", ThreadScaling},
 		{"blocked", "memory-bounded wave pipeline (peak bytes vs blocks)", BlockedWaves},
 		{"kernels", "alignment-kernel comparison (cells, time, recall)", Kernels},
+		{"cascade", "staged alignment cascade (ug prefilter -> gapped rescue)", CascadeStaged},
 	}
 }
 

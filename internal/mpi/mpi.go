@@ -164,7 +164,8 @@ func (c *Clock) LiveBytes() int64 { return c.live }
 // PeakBytes returns the rank's live-bytes high-water mark.
 func (c *Clock) PeakBytes() int64 { return c.peak }
 
-// BytesSent and BytesReceived report cumulative communication volume.
+// BytesSent and BytesReceived report cumulative communication volume;
+// Messages counts point-to-point sends.
 func (c *Clock) BytesSent() int64     { return c.sent }
 func (c *Clock) BytesReceived() int64 { return c.received }
 func (c *Clock) Messages() int64      { return c.messages }
@@ -202,6 +203,16 @@ func (c *Clock) CreditSection(name string, d float64) {
 		c.sections[name] += d
 	}
 }
+
+// SubSectionName returns the ledger key for a named sub-component of a
+// pipeline section ("align:ug"). Sub-sections are ordinary section names —
+// they accumulate independently and are never summed into the parent — but
+// the "parent:child" convention lets dissection tooling break a component
+// down further (e.g. the alignment cascade attributing prefilter vs rescue
+// time) without new ledger machinery. Callers crediting a sub-section
+// should keep crediting the parent with the total, as the wave driver does
+// for SectionAlign.
+func SubSectionName(section, sub string) string { return section + ":" + sub }
 
 // Sections returns a copy of the per-component virtual-time ledger.
 func (c *Clock) Sections() map[string]float64 {

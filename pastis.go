@@ -15,6 +15,17 @@
 // kernel's true cost (wfa's wavefront cost is near-linear on the
 // high-identity pairs that dominate the candidate set).
 //
+// Kernels also compose into staged alignment cascades (MMseqs2-style
+// prefilter → rescue): a cascade spec such as "ug+wfa" or "ug:60+sw" is a
+// valid Config.Align value that runs every candidate pair through the
+// cheap ungapped prefilter and re-aligns only pairs scoring above the
+// permissive gate with the expensive kernel. On collision-heavy candidate
+// sets (substitute k-mers without the common-k-mer prune) a cascade
+// reproduces the pure rescue-kernel graph at a fraction of its DP cells;
+// Stats.PairsPerStage and Stats.CellsPerStage report the per-stage
+// breakdown (pairs examined / passed / rejected, cells per stage). See
+// docs/ARCHITECTURE.md for how the pieces fit together.
+//
 // Because Go has no MPI, the distributed runtime is simulated: ranks are
 // goroutines exchanging messages through the internal mpi substrate, and a
 // deterministic LogGP-style virtual clock — driven by the real operation and
@@ -73,6 +84,9 @@ type (
 	Edge = core.Edge
 	// Stats carries pipeline counters (nonzeros, alignments, edges).
 	Stats = core.Stats
+	// StagePairs is the per-stage pair accounting of a cascade run
+	// (Stats.PairsPerStage).
+	StagePairs = core.StagePairs
 	// AlignMode selects the pairwise alignment kernel by registry name.
 	AlignMode = core.AlignMode
 	// WeightMode selects ANI or normalized-score edge weights.
@@ -89,7 +103,8 @@ type (
 // the align package's registry: sw (Smith-Waterman), xd (x-drop seed
 // extension), wfa (adaptive wavefront), ug (ungapped seed extension); any
 // kernel registered via align.RegisterKernel is equally valid as an
-// AlignMode value.
+// AlignMode value, as is any cascade spec ("ug+wfa", "ug:60+sw") composing
+// registered kernels into a staged prefilter → rescue filter.
 const (
 	AlignXDrop    = core.AlignXDrop
 	AlignSW       = core.AlignSW

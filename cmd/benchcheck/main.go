@@ -1,0 +1,64 @@
+// Command benchcheck validates BENCH_*.json wall-clock reports: each file
+// must parse and satisfy the internal/bench schema (area, scale, machine,
+// RFC3339 timestamp, positive timings, known phases). For every entry name
+// carrying both a "before" and an "after" phase it prints the wall-clock
+// speedup; -min fails the run when any such pair regresses below the given
+// ratio.
+//
+// Usage:
+//
+//	benchcheck BENCH_spgemm.json BENCH_kernels.json BENCH_pipeline.json
+//	benchcheck -min 1.0 BENCH_*.json   # additionally gate on speedups
+//
+// CI runs this against freshly generated reports, so a malformed emitter
+// (or a hand-edited committed baseline) fails the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	minRatio := flag.Float64("min", 0, "minimum before/after speedup for every paired entry (0 = report only)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no report files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		r, err := bench.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: %s at %s scale, %d entries (go %s, %s/%s)\n",
+			path, r.Area, r.Scale, len(r.Entries),
+			r.Machine.GoVersion, r.Machine.GOOS, r.Machine.GOARCH)
+		sp := r.Speedups()
+		names := make([]string, 0, len(sp))
+		for name := range sp {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			verdict := ""
+			if *minRatio > 0 && sp[name] < *minRatio {
+				verdict = fmt.Sprintf("  REGRESSION (below %.2fx)", *minRatio)
+				failed = true
+			}
+			fmt.Printf("  %-32s %.2fx%s\n", name, sp[name], verdict)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -7,9 +7,17 @@
 //	pastis-bench                          # run everything at small scale
 //	pastis-bench -experiment fig14strong  # one experiment
 //	pastis-bench -scale full -csv out/    # full suite with CSV output
+//	pastis-bench -wallclock -json .       # wall-clock layer: BENCH_*.json
 //
 // Experiment ids: fig12 fig13 table1 fig14strong fig14weak fig15 fig16
 // fig17 table2 claims ablations threads blocked kernels.
+//
+// -wallclock switches from the virtual-clock experiment harness to the
+// wall-clock performance layer (internal/bench): it measures the local
+// SpGEMM kernels, every registered alignment kernel and the end-to-end
+// pipeline in real nanoseconds and writes BENCH_spgemm.json,
+// BENCH_kernels.json and BENCH_pipeline.json into the -json directory.
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 package main
 
 import (
@@ -17,18 +25,41 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "all", "experiment id or 'all'")
-		scaleFl = flag.String("scale", "small", "dataset scale: tiny, small or full")
-		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+		expID     = flag.String("experiment", "all", "experiment id or 'all'")
+		scaleFl   = flag.String("scale", "small", "dataset scale: tiny, small or full")
+		csvDir    = flag.String("csv", "", "directory for CSV output (optional)")
+		wallclock = flag.Bool("wallclock", false, "run the wall-clock benchmark layer instead of the experiments")
+		jsonDir   = flag.String("json", ".", "directory for BENCH_*.json output (with -wallclock)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := bench.StartProfiles(*cpuProf, *memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *wallclock {
+		runWallclock(*scaleFl, *jsonDir)
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scaleFl {
@@ -78,6 +109,62 @@ func main() {
 		}
 		experiments.Reset()
 	}
+}
+
+// runWallclock runs the three wall-clock suites, writes BENCH_*.json into
+// dir and prints each report as an aligned table with before/after
+// speedups.
+func runWallclock(scale, dir string) {
+	size, err := bench.SizeFor(scale)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	suites := []struct {
+		name string
+		fn   func(bench.Size) (*bench.Report, error)
+	}{
+		{"spgemm", bench.SpGEMM},
+		{"kernels", bench.Kernels},
+		{"pipeline", bench.Pipeline},
+	}
+	for _, s := range suites {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "pastis-bench: measuring %s at %s scale...\n", s.name, size.Name)
+		r, err := s.fn(size)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s.name, err))
+		}
+		path, err := r.WriteFile(dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pastis-bench: %s done in %.1fs -> %s\n",
+			s.name, time.Since(start).Seconds(), path)
+		printReport(r)
+	}
+}
+
+func printReport(r *bench.Report) {
+	fmt.Printf("%s (%s scale)\n", r.Area, r.Scale)
+	fmt.Printf("  %-32s %-8s %12s %12s %10s %14s %14s\n",
+		"name", "phase", "ns/op", "B/op", "allocs/op", "cells/s", "flops/s")
+	for _, e := range r.Entries {
+		fmt.Printf("  %-32s %-8s %12.0f %12d %10d %14.3g %14.3g\n",
+			e.Name, e.Phase, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.CellsPerSec, e.FlopsPerSec)
+	}
+	sp := r.Speedups()
+	names := make([]string, 0, len(sp))
+	for name := range sp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-32s %.2fx speedup (before/after)\n", name, sp[name])
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

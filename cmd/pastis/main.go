@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/bench"
 	"repro/internal/parallel"
 )
 
@@ -50,12 +51,25 @@ func main() {
 		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
 		blocks  = flag.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)")
 		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "pastis: -in is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := bench.StartProfiles(*cpuProf, *memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	f, err := os.Open(*inPath)

@@ -34,6 +34,15 @@ import (
 // identity instead of being trimmed to the domain. Use sw or xd when
 // local-segment discrimination (multi-domain proteins) matters.
 //
+// Wavefront storage is PACKED (the shenwei356/wfa technique the roadmap
+// points at): the four per-diagonal fields — offset, matches, alignment
+// columns, BLOSUM score — live interleaved in ONE []int32 at stride 4, so
+// a diagonal is one cache line instead of four, a wave is one arena
+// allocation instead of four, and prune/clamp reslice a single slice. The
+// frozen four-slice kernel this replaced lives in wfa_unpacked.go as the
+// differential baseline (TestWFAPackedMatchesUnpacked, the wall-clock
+// benchmark's "before" entries); the two are bit-identical by test.
+//
 // The penalties are the WFA paper's defaults (mismatch 4 / open 6 /
 // extend 2) divided by their gcd: a uniform scaling preserves the optimal
 // path set exactly while halving the number of wavefronts — and therefore
@@ -53,16 +62,21 @@ const (
 // wfDead marks an unreachable diagonal in a wavefront.
 const wfDead = int32(-1)
 
+// Field offsets of one packed wavefront cell and its stride.
+const (
+	wfOff    = 0 // furthest offset h along b (wfDead = unreachable)
+	wfMt     = 1 // matches on the path into the cell
+	wfAl     = 2 // alignment columns on the path
+	wfSc     = 3 // BLOSUM score of the path
+	wfStride = 4
+)
+
 // wfWave is one wavefront of one component at one penalty: for each
-// diagonal k in [lo,hi], the furthest offset h along b (wfDead when the
-// diagonal is unreachable at this penalty) plus the path statistics into
-// that cell: matches, alignment columns, and BLOSUM score.
+// diagonal k in [lo,hi], the packed cell cells[(k-lo)*4 : (k-lo)*4+4]
+// holds {off, mt, al, sc}.
 type wfWave struct {
 	lo, hi int32 // inclusive; hi < lo means the wave is empty
-	off    []int32
-	mt     []int32
-	al     []int32
-	sc     []int32
+	cells  []int32
 }
 
 var wfEmptyWave = wfWave{lo: 1, hi: 0}
@@ -71,11 +85,12 @@ func (w *wfWave) get(k int32) (off, mt, al, sc int32, ok bool) {
 	if k < w.lo || k > w.hi {
 		return 0, 0, 0, 0, false
 	}
-	i := k - w.lo
-	if w.off[i] == wfDead {
+	i := int(k-w.lo) * wfStride
+	c := w.cells[i : i+wfStride]
+	if c[wfOff] == wfDead {
 		return 0, 0, 0, 0, false
 	}
-	return w.off[i], w.mt[i], w.al[i], w.sc[i], true
+	return c[wfOff], c[wfMt], c[wfAl], c[wfSc], true
 }
 
 // wfArena hands out reusable int32 slices chunk-wise; chunks persist across
@@ -115,6 +130,11 @@ type wfaKernel struct {
 	m, i, d []wfWave // wavefronts indexed by penalty s
 	arena   wfArena
 	cells   int64
+	// self caches the matrix diagonal DIAG(C)[a] so the extension hot loop
+	// scores a match with one indexed load instead of a 2D matrix lookup
+	// (a[v] == b[off] inside the run, so Score(a[v], b[off]) is SelfScore).
+	self       [alphabet.Size]int32
+	selfMatrix *scoring.Matrix
 }
 
 func newWFAKernel() *wfaKernel { return &wfaKernel{} }
@@ -123,15 +143,13 @@ func (w *wfaKernel) Name() string { return "wfa" }
 
 func (w *wfaKernel) CellsComputed() int64 { return w.cells }
 
-// newWave allocates a wave for diagonals [lo,hi] with every diagonal dead.
+// newWave allocates a wave for diagonals [lo,hi]. The cells are NOT
+// initialized: the producer must write every diagonal's off field (wfDead
+// for unreachable ones) — the k-loop's else branches do — and the stat
+// fields of a dead diagonal are never read, so arena garbage there is fine.
 func (w *wfaKernel) newWave(lo, hi int32) wfWave {
-	n := int(hi - lo + 1)
-	wv := wfWave{lo: lo, hi: hi,
-		off: w.arena.alloc(n), mt: w.arena.alloc(n), al: w.arena.alloc(n), sc: w.arena.alloc(n)}
-	for i := range wv.off {
-		wv.off[i] = wfDead
-	}
-	return wv
+	n := int(hi-lo+1) * wfStride
+	return wfWave{lo: lo, hi: hi, cells: w.arena.alloc(n)}
 }
 
 // waveAt returns the stored wave at penalty s, or an empty wave.
@@ -150,6 +168,12 @@ func (w *wfaKernel) Align(a, b []alphabet.Code, _ []Seed, p Params) (Result, err
 		return Result{}, nil
 	}
 	matrix := p.Scoring.Matrix
+	if w.selfMatrix != matrix {
+		for c := 0; c < alphabet.Size; c++ {
+			w.self[c] = int32(matrix.SelfScore(alphabet.Code(c)))
+		}
+		w.selfMatrix = matrix
+	}
 	openCost := int32(p.Scoring.GapOpen + p.Scoring.GapExtend)
 	extCost := int32(p.Scoring.GapExtend)
 	kFinal := lb - la
@@ -160,9 +184,9 @@ func (w *wfaKernel) Align(a, b []alphabet.Code, _ []Seed, p Params) (Result, err
 
 	// Penalty 0: the single diagonal k=0 at offset 0, greedily extended.
 	w0 := w.newWave(0, 0)
-	w0.off[0], w0.mt[0], w0.al[0], w0.sc[0] = 0, 0, 0, 0
+	w0.cells[wfOff], w0.cells[wfMt], w0.cells[wfAl], w0.cells[wfSc] = 0, 0, 0, 0
 	cells++
-	cells += wfExtend(&w0, a, b, matrix)
+	cells += wfExtend(&w0, a, b, &w.self)
 	w.m = append(w.m, w0)
 	w.i = append(w.i, wfEmptyWave)
 	w.d = append(w.d, wfEmptyWave)
@@ -196,70 +220,116 @@ func (w *wfaKernel) Align(a, b []alphabet.Code, _ []Seed, p Params) (Result, err
 			w.d = append(w.d, wfEmptyWave)
 			continue
 		}
-		mw := w.newWave(lo, hi)
-		iw := w.newWave(lo, hi)
-		dw := w.newWave(lo, hi)
+		// One arena grab serves all three components of this penalty.
+		n3 := int(hi-lo+1) * wfStride
+		buf := w.arena.alloc(3 * n3)
+		mw := wfWave{lo: lo, hi: hi, cells: buf[:n3:n3]}
+		iw := wfWave{lo: lo, hi: hi, cells: buf[n3 : 2*n3 : 2*n3]}
+		dw := wfWave{lo: lo, hi: hi, cells: buf[2*n3 : 3*n3 : 3*n3]}
+		mc, ic, dc := mw.cells, iw.cells, dw.cells
+		// The source-wave accesses are inlined by hand: per diagonal the
+		// loop resolves up to five neighbor cells, and a method call plus
+		// re-derived slice headers per access is measurable here. Each
+		// source is first probed by offset alone; the three path-stat
+		// fields load only for the winning source (adjacent in the packed
+		// cell, so the line is already resident).
+		moc, mol, moh := mo.cells, mo.lo, mo.hi
+		mxc, mxl, mxh := mx.cells, mx.lo, mx.hi
+		iec, iel, ieh := ie.cells, ie.lo, ie.hi
+		dec, del, deh := de.cells, de.lo, de.hi
 		for k := lo; k <= hi; k++ {
 			cells++
-			idx := k - lo
+			ix := int(k-lo) * wfStride
 
 			// I[s,k]: gap in a consuming b (h+1); open from M[s-o-e,k-1]
 			// beats extend from I[s-e,k-1] on offset ties, mirroring the
 			// Gotoh kernels' strictly-greater extension comparisons.
 			// Boundary feasibility is decided per source BEFORE the max: a
-			// source already at the sequence end cannot take the step, but
-			// a feasible runner-up still can.
-			{
-				oOff, oMt, oAl, oSc, okO := mo.get(k - 1)
-				okO = okO && oOff+1 <= lb
-				eOff, eMt, eAl, eSc, okE := ie.get(k - 1)
-				okE = okE && eOff+1 <= lb
-				if okO && (!okE || oOff >= eOff) {
-					iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx] = oOff+1, oMt, oAl+1, oSc-openCost
-				} else if okE {
-					iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx] = eOff+1, eMt, eAl+1, eSc-extCost
+			// source already at the sequence end cannot take the step
+			// (offset+1 <= lb, i.e. offset < lb), but a feasible runner-up
+			// still can.
+			oOff, oJ := wfDead, 0
+			if km1 := k - 1; km1 >= mol && km1 <= moh {
+				j := int(km1-mol) * wfStride
+				if o := moc[j+wfOff]; o != wfDead && o < lb {
+					oOff, oJ = o, j
 				}
 			}
-
-			// D[s,k]: gap in b consuming a (v+1, offset unchanged).
-			{
-				oOff, oMt, oAl, oSc, okO := mo.get(k + 1)
-				okO = okO && oOff-k <= la
-				eOff, eMt, eAl, eSc, okE := de.get(k + 1)
-				okE = okE && eOff-k <= la
-				if okO && (!okE || oOff >= eOff) {
-					dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx] = oOff, oMt, oAl+1, oSc-openCost
-				} else if okE {
-					dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx] = eOff, eMt, eAl+1, eSc-extCost
+			eOff, eJ := wfDead, 0
+			if km1 := k - 1; km1 >= iel && km1 <= ieh {
+				j := int(km1-iel) * wfStride
+				if o := iec[j+wfOff]; o != wfDead && o < lb {
+					eOff, eJ = o, j
 				}
+			}
+			if oOff != wfDead && (eOff == wfDead || oOff >= eOff) {
+				ic[ix+wfOff], ic[ix+wfMt], ic[ix+wfAl], ic[ix+wfSc] =
+					oOff+1, moc[oJ+wfMt], moc[oJ+wfAl]+1, moc[oJ+wfSc]-openCost
+			} else if eOff != wfDead {
+				ic[ix+wfOff], ic[ix+wfMt], ic[ix+wfAl], ic[ix+wfSc] =
+					eOff+1, iec[eJ+wfMt], iec[eJ+wfAl]+1, iec[eJ+wfSc]-extCost
+			} else {
+				ic[ix+wfOff] = wfDead
+			}
+
+			// D[s,k]: gap in b consuming a (v+1, offset unchanged); the
+			// boundary condition is offset-k <= la on each source.
+			oOff, oJ = wfDead, 0
+			if kp1 := k + 1; kp1 >= mol && kp1 <= moh {
+				j := int(kp1-mol) * wfStride
+				if o := moc[j+wfOff]; o != wfDead && o-k <= la {
+					oOff, oJ = o, j
+				}
+			}
+			eOff, eJ = wfDead, 0
+			if kp1 := k + 1; kp1 >= del && kp1 <= deh {
+				j := int(kp1-del) * wfStride
+				if o := dec[j+wfOff]; o != wfDead && o-k <= la {
+					eOff, eJ = o, j
+				}
+			}
+			if oOff != wfDead && (eOff == wfDead || oOff >= eOff) {
+				dc[ix+wfOff], dc[ix+wfMt], dc[ix+wfAl], dc[ix+wfSc] =
+					oOff, moc[oJ+wfMt], moc[oJ+wfAl]+1, moc[oJ+wfSc]-openCost
+			} else if eOff != wfDead {
+				dc[ix+wfOff], dc[ix+wfMt], dc[ix+wfAl], dc[ix+wfSc] =
+					eOff, dec[eJ+wfMt], dec[eJ+wfAl]+1, dec[eJ+wfSc]-extCost
+			} else {
+				dc[ix+wfOff] = wfDead
 			}
 
 			// M[s,k]: the mismatch step from M[s-x,k] (preferred on offset
 			// ties, like the Gotoh diagonal), else the best same-s gap cell.
 			best := wfDead
 			var mt, al2, sc2 int32
-			if xOff, xMt, xAl, xSc, okX := mx.get(k); okX {
-				off := xOff + 1
-				v := off - k
-				if off <= lb && v <= la {
-					// Greedy extension consumed every equal pair, so the
-					// mismatch step always scores an unequal pair.
-					best = off
-					mt, al2, sc2 = xMt, xAl+1, xSc+int32(matrix.Score(a[v-1], b[off-1]))
+			if k >= mxl && k <= mxh {
+				j := int(k-mxl) * wfStride
+				if x := mxc[j+wfOff]; x != wfDead {
+					off := x + 1
+					v := off - k
+					if off <= lb && v <= la {
+						// Greedy extension consumed every equal pair, so the
+						// mismatch step always scores an unequal pair.
+						best = off
+						mt, al2, sc2 = mxc[j+wfMt], mxc[j+wfAl]+1,
+							mxc[j+wfSc]+int32(matrix.Score(a[v-1], b[off-1]))
+					}
 				}
 			}
-			if iw.off[idx] != wfDead && iw.off[idx] > best {
-				best, mt, al2, sc2 = iw.off[idx], iw.mt[idx], iw.al[idx], iw.sc[idx]
+			if ic[ix+wfOff] != wfDead && ic[ix+wfOff] > best {
+				best, mt, al2, sc2 = ic[ix+wfOff], ic[ix+wfMt], ic[ix+wfAl], ic[ix+wfSc]
 			}
-			if dw.off[idx] != wfDead && dw.off[idx] > best {
-				best, mt, al2, sc2 = dw.off[idx], dw.mt[idx], dw.al[idx], dw.sc[idx]
+			if dc[ix+wfOff] != wfDead && dc[ix+wfOff] > best {
+				best, mt, al2, sc2 = dc[ix+wfOff], dc[ix+wfMt], dc[ix+wfAl], dc[ix+wfSc]
 			}
 			if best != wfDead {
-				mw.off[idx], mw.mt[idx], mw.al[idx], mw.sc[idx] = best, mt, al2, sc2
+				mc[ix+wfOff], mc[ix+wfMt], mc[ix+wfAl], mc[ix+wfSc] = best, mt, al2, sc2
+			} else {
+				mc[ix+wfOff] = wfDead
 			}
 		}
 
-		cells += wfExtend(&mw, a, b, matrix)
+		cells += wfExtend(&mw, a, b, &w.self)
 		if r, done := w.final(&mw, kFinal, la, lb, cells); done {
 			w.cells += cells
 			// Count the partial waves of this penalty before returning.
@@ -323,29 +393,43 @@ func wfBounds(mo, mx, ie, de *wfWave, la, lb int32) (lo, hi int32, any bool) {
 
 // wfExtend greedily advances every live M diagonal through its run of equal
 // residues, accumulating match statistics; returns the comparisons made
-// (the extension share of the kernel's cell count).
-func wfExtend(wv *wfWave, a, b []alphabet.Code, matrix *scoring.Matrix) int64 {
+// (the extension share of the kernel's cell count). The run's statistics
+// accumulate in registers and are written back once per diagonal — the
+// per-residue score is self[a[v]] because the residues are equal, which is
+// bit-identical to Score(a[v], b[off]) on the symmetric matrix diagonal.
+func wfExtend(wv *wfWave, a, b []alphabet.Code, self *[alphabet.Size]int32) int64 {
 	la, lb := int32(len(a)), int32(len(b))
 	var n int64
-	for k := wv.lo; k <= wv.hi; k++ {
-		idx := k - wv.lo
-		off := wv.off[idx]
+	cells := wv.cells
+	for k, i := wv.lo, 0; k <= wv.hi; k, i = k+1, i+wfStride {
+		c := cells[i : i+wfStride]
+		off := c[wfOff]
 		if off == wfDead {
 			continue
 		}
+		// end = min(lb, la+k) folds the two boundary tests of the original
+		// loop (off < lb && off-k < la) into one comparison per residue.
+		end := lb
+		if la+k < end {
+			end = la + k
+		}
 		v := off - k
-		for off < lb && v < la && a[v] == b[off] {
-			n++
-			wv.mt[idx]++
-			wv.al[idx]++
-			wv.sc[idx] += int32(matrix.Score(a[v], b[off]))
+		start := off
+		var sc int32
+		for off < end && a[v] == b[off] {
+			sc += self[a[v]]
 			off++
 			v++
 		}
-		if off < lb && v < la {
+		run := off - start
+		n += int64(run)
+		if off < end {
 			n++ // the comparison that ended the run
 		}
-		wv.off[idx] = off
+		c[wfOff] = off
+		c[wfMt] += run
+		c[wfAl] += run
+		c[wfSc] += sc
 	}
 	return n
 }
@@ -373,7 +457,7 @@ func (w *wfaKernel) final(wv *wfWave, kFinal, la, lb int32, cells int64) (Result
 func wfPrune(wv *wfWave) {
 	best := int32(-1 << 30)
 	for k := wv.lo; k <= wv.hi; k++ {
-		if off := wv.off[k-wv.lo]; off != wfDead {
+		if off := wv.cells[int(k-wv.lo)*wfStride+wfOff]; off != wfDead {
 			if p := 2*off - k; p > best {
 				best = p
 			}
@@ -381,14 +465,14 @@ func wfPrune(wv *wfWave) {
 	}
 	lo, hi := wv.lo, wv.hi
 	for lo <= hi {
-		off := wv.off[lo-wv.lo]
+		off := wv.cells[int(lo-wv.lo)*wfStride+wfOff]
 		if off != wfDead && 2*off-lo >= best-wfaPruneLag {
 			break
 		}
 		lo++
 	}
 	for hi >= lo {
-		off := wv.off[hi-wv.lo]
+		off := wv.cells[int(hi-wv.lo)*wfStride+wfOff]
 		if off != wfDead && 2*off-hi >= best-wfaPruneLag {
 			break
 		}
@@ -398,10 +482,7 @@ func wfPrune(wv *wfWave) {
 		*wv = wfEmptyWave
 		return
 	}
-	wv.off = wv.off[lo-wv.lo : hi-wv.lo+1]
-	wv.mt = wv.mt[lo-wv.lo : hi-wv.lo+1]
-	wv.al = wv.al[lo-wv.lo : hi-wv.lo+1]
-	wv.sc = wv.sc[lo-wv.lo : hi-wv.lo+1]
+	wv.cells = wv.cells[int(lo-wv.lo)*wfStride : int(hi-wv.lo+1)*wfStride]
 	wv.lo, wv.hi = lo, hi
 }
 
@@ -417,9 +498,6 @@ func wfClamp(wv *wfWave, lo, hi int32) {
 		*wv = wfEmptyWave
 		return
 	}
-	wv.off = wv.off[lo-wv.lo : hi-wv.lo+1]
-	wv.mt = wv.mt[lo-wv.lo : hi-wv.lo+1]
-	wv.al = wv.al[lo-wv.lo : hi-wv.lo+1]
-	wv.sc = wv.sc[lo-wv.lo : hi-wv.lo+1]
+	wv.cells = wv.cells[int(lo-wv.lo)*wfStride : int(hi-wv.lo+1)*wfStride]
 	wv.lo, wv.hi = lo, hi
 }

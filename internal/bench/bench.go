@@ -1,0 +1,270 @@
+// Package bench is the wall-clock performance layer: a testing.Benchmark-
+// style runner that measures the hot kernels (local SpGEMM, the registered
+// alignment kernels, the end-to-end pipeline) in real nanoseconds and emits
+// machine-readable BENCH_*.json reports.
+//
+// The virtual clock (internal/cluster) answers "what would this cost on N
+// nodes"; this package answers "what does one rank's work cost on this
+// machine". Reports pair each optimized kernel ("after") with its frozen
+// pre-optimization twin kept in-tree ("before": spmat.SpGEMMHashMap,
+// align.NewWFAUnpacked), so the speedup of a rewrite is measured honestly
+// from one binary instead of across commits. Entries also carry bytes/op
+// and allocs/op, making allocation regressions on the hot paths visible in
+// the committed JSON trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+)
+
+// Machine identifies the host a report was measured on, enough to know
+// whether two reports are comparable.
+type Machine struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// CurrentMachine describes the running host.
+func CurrentMachine() Machine {
+	return Machine{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Commit returns the short git commit hash of the working tree, or "" when
+// git or the repository is unavailable (reports remain valid without it).
+func Commit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Entry is one measured operation. Entries sharing a Name but differing in
+// Phase ("before" vs "after") are the honest speedup pairs; "current"
+// marks kernels measured for the trajectory without a frozen baseline.
+type Entry struct {
+	Name        string  `json:"name"`
+	Phase       string  `json:"phase"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	FlopsPerSec float64 `json:"flops_per_sec,omitempty"`
+}
+
+// Report is one BENCH_<area>.json file.
+type Report struct {
+	Area        string  `json:"area"`
+	Scale       string  `json:"scale"`
+	Commit      string  `json:"commit,omitempty"`
+	GeneratedAt string  `json:"generated_at"`
+	Machine     Machine `json:"machine"`
+	Entries     []Entry `json:"entries"`
+}
+
+// Op is one benchmarked operation. It returns the DP cells and semiring
+// flops the call performed (zero when the metric does not apply); the
+// runner accumulates them into cells/s and flops/s.
+type Op func() (cells, flops int64)
+
+// Measure times op until the measurement loop has run for at least target,
+// growing the iteration count geometrically like testing.B. The first call
+// is an untimed warmup so reusable scratch (hash tables, arenas, DP rows)
+// reaches steady state and the entry reports amortized allocation cost.
+func Measure(name, phase string, target time.Duration, op Op) Entry {
+	op() // warmup: grow scratch outside the timed region
+	iters := int64(1)
+	for {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		var cells, flops int64
+		start := time.Now()
+		for i := int64(0); i < iters; i++ {
+			c, f := op()
+			cells += c
+			flops += f
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if elapsed >= target || iters >= 1<<30 {
+			e := Entry{
+				Name:        name,
+				Phase:       phase,
+				Iterations:  iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / iters,
+				AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / iters,
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				if cells > 0 {
+					e.CellsPerSec = float64(cells) / secs
+				}
+				if flops > 0 {
+					e.FlopsPerSec = float64(flops) / secs
+				}
+			}
+			return e
+		}
+		// Predict the target iteration count with 1.5x headroom, capped at
+		// 100x growth per round (the testing package's safeguards).
+		grow := int64(1.5 * float64(iters) * float64(target) / float64(elapsed+1))
+		if grow < iters+1 {
+			grow = iters + 1
+		}
+		if grow > 100*iters {
+			grow = 100 * iters
+		}
+		iters = grow
+	}
+}
+
+// Validate rejects structurally broken reports: the schema contract that
+// cmd/benchcheck (and CI) holds committed BENCH_*.json files to.
+func (r *Report) Validate() error {
+	if r.Area == "" {
+		return fmt.Errorf("bench: report has no area")
+	}
+	if r.Scale == "" {
+		return fmt.Errorf("bench: report %q has no scale", r.Area)
+	}
+	if _, err := time.Parse(time.RFC3339, r.GeneratedAt); err != nil {
+		return fmt.Errorf("bench: report %q: bad generated_at %q: %w", r.Area, r.GeneratedAt, err)
+	}
+	if r.Machine.GoVersion == "" {
+		return fmt.Errorf("bench: report %q has no machine.go_version", r.Area)
+	}
+	if len(r.Entries) == 0 {
+		return fmt.Errorf("bench: report %q has no entries", r.Area)
+	}
+	for i, e := range r.Entries {
+		if e.Name == "" {
+			return fmt.Errorf("bench: report %q entry %d has no name", r.Area, i)
+		}
+		switch e.Phase {
+		case "before", "after", "current":
+		default:
+			return fmt.Errorf("bench: entry %q has phase %q, want before|after|current", e.Name, e.Phase)
+		}
+		if e.Iterations <= 0 {
+			return fmt.Errorf("bench: entry %q has iterations %d", e.Name, e.Iterations)
+		}
+		if e.NsPerOp <= 0 {
+			return fmt.Errorf("bench: entry %q has ns_per_op %g", e.Name, e.NsPerOp)
+		}
+		if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
+			return fmt.Errorf("bench: entry %q has negative memory counters", e.Name)
+		}
+	}
+	return nil
+}
+
+// Speedups pairs before/after entries by name and returns the wall-clock
+// ratio before.NsPerOp / after.NsPerOp for each name carrying both phases.
+func (r *Report) Speedups() map[string]float64 {
+	before := map[string]float64{}
+	after := map[string]float64{}
+	for _, e := range r.Entries {
+		switch e.Phase {
+		case "before":
+			before[e.Name] = e.NsPerOp
+		case "after":
+			after[e.Name] = e.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for name, b := range before {
+		if a, ok := after[name]; ok && a > 0 {
+			out[name] = b / a
+		}
+	}
+	return out
+}
+
+// FileName is the canonical on-disk name for a report area.
+func FileName(area string) string { return "BENCH_" + area + ".json" }
+
+// WriteFile writes the report as dir/BENCH_<area>.json and returns the path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(r.Area))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile parses and validates a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// StartProfiles starts a CPU profile at cpuPath and arranges a heap profile
+// at memPath; either may be empty. The returned stop must run before exit
+// (it flushes the CPU profile and snapshots the heap after a final GC).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testSize keeps the suite runtime in the hundreds of milliseconds: the
+// tests check report structure, not measurement stability.
+func testSize() Size {
+	return Size{Name: "test", Target: 2 * time.Millisecond,
+		SpGEMMDim: 60, SpGEMMNNZ: 500, SeqLen: 80,
+		PipelineSeqs: 30, PipelineNodes: 4}
+}
+
+func TestMeasureCountsWork(t *testing.T) {
+	var calls int64
+	e := Measure("op", "current", time.Millisecond, func() (int64, int64) {
+		calls++
+		return 10, 20
+	})
+	if e.Iterations <= 0 || e.NsPerOp <= 0 {
+		t.Fatalf("entry lacks timing: %+v", e)
+	}
+	// calls includes the warmup invocation.
+	if calls != e.Iterations+1 && calls < e.Iterations {
+		t.Fatalf("op called %d times for %d reported iterations", calls, e.Iterations)
+	}
+	if e.CellsPerSec <= 0 || e.FlopsPerSec <= 0 {
+		t.Fatalf("work rates missing: %+v", e)
+	}
+	if e.FlopsPerSec != 2*e.CellsPerSec {
+		t.Fatalf("rates disagree with 10/20 work split: %+v", e)
+	}
+}
+
+func TestSuitesProduceValidReports(t *testing.T) {
+	size := testSize()
+	type suite struct {
+		name string
+		fn   func(Size) (*Report, error)
+	}
+	for _, s := range []suite{{"spgemm", SpGEMM}, {"kernels", Kernels}, {"pipeline", Pipeline}} {
+		r, err := s.fn(size)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if r.Area != s.name {
+			t.Fatalf("area %q, want %q", r.Area, s.name)
+		}
+	}
+}
+
+// TestSpeedupPairs proves both rewrites ship with their frozen twin: the
+// spgemm and kernels reports must each contain a before/after pair, the
+// thing the committed BENCH files exist to track. No ratio threshold here
+// (CI machines are noisy); the baseline gate lives in the committed JSON.
+func TestSpeedupPairs(t *testing.T) {
+	size := testSize()
+	sp, err := SpGEMM(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.Speedups()["spgemm/hash"]; !ok {
+		t.Fatalf("spgemm report lacks a before/after pair for spgemm/hash: %+v", sp.Entries)
+	}
+	ke, err := Kernels(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ke.Speedups()["kernel/wfa"]; !ok {
+		t.Fatalf("kernels report lacks a before/after pair for kernel/wfa: %+v", ke.Entries)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := SpGEMM(testSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_spgemm.json" {
+		t.Fatalf("wrote %s, want BENCH_spgemm.json", path)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(r.Entries) || back.Area != r.Area {
+		t.Fatalf("round trip lost data: wrote %d entries, read %d", len(r.Entries), len(back.Entries))
+	}
+}
+
+func TestReadFileRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `{"area": "spgemm", "entries": [`,
+		"empty.json":     `{}`,
+		"badphase.json": `{"area":"x","scale":"tiny","generated_at":"2026-01-01T00:00:00Z",` +
+			`"machine":{"go_version":"go"},"entries":[{"name":"a","phase":"wat",` +
+			`"iterations":1,"ns_per_op":1}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFile(path); err == nil {
+			t.Fatalf("%s: malformed report accepted", name)
+		}
+	}
+}
+
+func TestSizeFor(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "full"} {
+		s, err := SizeFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.SpGEMMDim <= 0 || s.SeqLen <= 0 || s.Target <= 0 {
+			t.Fatalf("%s: degenerate size %+v", name, s)
+		}
+	}
+	if _, err := SizeFor("medium"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

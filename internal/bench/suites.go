@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/align"
+	"repro/internal/alphabet"
+	"repro/internal/spmat"
+)
+
+// Size fixes the workload shapes and the per-entry measurement budget for
+// one scale tier. Workloads are seeded, so two runs of the same tier
+// measure the same operands.
+type Size struct {
+	Name   string
+	Target time.Duration // minimum timed duration per entry
+
+	SpGEMMDim int // square local-matrix dimension
+	SpGEMMNNZ int // nonzeros per operand
+
+	SeqLen int // alignment pair length (identity sweep is fixed)
+
+	PipelineSeqs  int // metaclust-like dataset size
+	PipelineNodes int // simulated node count
+}
+
+// SizeFor maps the pastis-bench -scale names onto wall-clock workloads.
+func SizeFor(name string) (Size, error) {
+	switch name {
+	case "tiny":
+		return Size{Name: name, Target: 50 * time.Millisecond,
+			SpGEMMDim: 200, SpGEMMNNZ: 3000, SeqLen: 120,
+			PipelineSeqs: 60, PipelineNodes: 4}, nil
+	case "small":
+		return Size{Name: name, Target: 300 * time.Millisecond,
+			SpGEMMDim: 600, SpGEMMNNZ: 12000, SeqLen: 300,
+			PipelineSeqs: 150, PipelineNodes: 16}, nil
+	case "full":
+		return Size{Name: name, Target: time.Second,
+			SpGEMMDim: 1500, SpGEMMNNZ: 60000, SeqLen: 800,
+			PipelineSeqs: 400, PipelineNodes: 16}, nil
+	}
+	return Size{}, fmt.Errorf("bench: unknown scale %q (want tiny, small or full)", name)
+}
+
+func newReport(area string, size Size) *Report {
+	return &Report{
+		Area:        area,
+		Scale:       size.Name,
+		Commit:      Commit(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Machine:     CurrentMachine(),
+	}
+}
+
+// randomMatrix builds a seeded n x n operand with nnz distinct nonzeros.
+func randomMatrix(rng *rand.Rand, n spmat.Index, nnz int) (*spmat.DCSC[float64], error) {
+	seen := make(map[[2]spmat.Index]bool, nnz)
+	ts := make([]spmat.Triple[float64], 0, nnz)
+	for len(ts) < nnz {
+		r, c := spmat.Index(rng.Int63n(int64(n))), spmat.Index(rng.Int63n(int64(n)))
+		if seen[[2]spmat.Index{r, c}] {
+			continue
+		}
+		seen[[2]spmat.Index{r, c}] = true
+		ts = append(ts, spmat.Triple[float64]{Row: r, Col: c, Val: float64(rng.Intn(9) + 1)})
+	}
+	return spmat.FromTriples(n, n, ts, nil)
+}
+
+// SpGEMM measures the local multiply kernels on one seeded operand pair:
+// the frozen map-accumulator hash kernel ("before"), the open-addressing
+// rewrite ("after", same name so the pair yields the speedup), and the
+// heap k-way merge for the trajectory.
+func SpGEMM(size Size) (*Report, error) {
+	rng := rand.New(rand.NewSource(8))
+	x, err := randomMatrix(rng, spmat.Index(size.SpGEMMDim), size.SpGEMMNNZ)
+	if err != nil {
+		return nil, err
+	}
+	r := newReport("spgemm", size)
+	var opErr error
+	kernels := []struct {
+		name, phase string
+		fn          func(a, b *spmat.DCSC[float64], sr spmat.Semiring[float64, float64, float64]) (*spmat.DCSC[float64], spmat.Stats, error)
+	}{
+		{"spgemm/hash", "before", spmat.SpGEMMHashMap[float64, float64, float64]},
+		{"spgemm/hash", "after", spmat.SpGEMMHash[float64, float64, float64]},
+		{"spgemm/heap", "after", spmat.SpGEMMHeap[float64, float64, float64]},
+	}
+	for _, k := range kernels {
+		fn := k.fn
+		r.Entries = append(r.Entries, Measure(k.name, k.phase, size.Target, func() (int64, int64) {
+			_, stats, err := fn(x, x, spmat.Arithmetic)
+			if err != nil {
+				opErr = err
+				return 0, 0
+			}
+			return 0, stats.Flops
+		}))
+		if opErr != nil {
+			return nil, opErr
+		}
+	}
+	return r, nil
+}
+
+// benchSeq and benchMutate are the seeded pair generators the alignment
+// suite shares with the kernel benchmarks' conventions (substitutions at
+// 1-identity, short indels, a guaranteed exact seed at the origin).
+func benchSeq(rng *rand.Rand, n int) []alphabet.Code {
+	s := make([]alphabet.Code, n)
+	for i := range s {
+		s[i] = alphabet.Code(rng.Intn(20))
+	}
+	return s
+}
+
+func benchMutate(rng *rand.Rand, a []alphabet.Code, subRate float64, indels int) []alphabet.Code {
+	b := append([]alphabet.Code(nil), a...)
+	for i := range b {
+		if rng.Float64() < subRate {
+			b[i] = alphabet.Code(rng.Intn(20))
+		}
+	}
+	for j := 0; j < indels; j++ {
+		l := 1 + rng.Intn(4)
+		if rng.Intn(2) == 0 && len(b) > l+10 {
+			at := rng.Intn(len(b) - l)
+			b = append(b[:at], b[at+l:]...)
+		} else {
+			at := rng.Intn(len(b))
+			b = append(b[:at], append(benchSeq(rng, l), b[at:]...)...)
+		}
+	}
+	return b
+}
+
+// Kernels measures every registered alignment kernel on one seeded
+// high-identity pair (the regime the candidate sets of the pipeline live
+// in), plus the frozen unpacked wavefront kernel as the "before" twin of
+// the packed "wfa" entry.
+func Kernels(size Size) (*Report, error) {
+	rng := rand.New(rand.NewSource(3))
+	x := benchSeq(rng, size.SeqLen)
+	y := benchMutate(rng, x, 0.05, 2)
+	copy(y[:6], x[:6])
+	seeds := []align.Seed{{PosA: 0, PosB: 0, K: 6}}
+	p := align.DefaultParams()
+
+	r := newReport("kernels", size)
+	measure := func(name, phase string, k align.Kernel) error {
+		var opErr error
+		r.Entries = append(r.Entries, Measure(name, phase, size.Target, func() (int64, int64) {
+			prev := k.CellsComputed()
+			if _, err := k.Align(x, y, seeds, p); err != nil {
+				opErr = err
+				return 0, 0
+			}
+			return k.CellsComputed() - prev, 0
+		}))
+		return opErr
+	}
+	for _, name := range align.Kernels() {
+		k, err := align.NewKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		// Only the wavefront kernel has a frozen pre-rewrite twin; the
+		// rest are measured for the trajectory.
+		phase := "current"
+		if name == "wfa" {
+			phase = "after"
+		}
+		if err := measure("kernel/"+name, phase, k); err != nil {
+			return nil, err
+		}
+	}
+	if err := measure("kernel/wfa", "before", align.NewWFAUnpacked()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Pipeline measures the end-to-end public API on a seeded metaclust-like
+// dataset: the default single-wave run and the memory-bounded blocked run
+// (4 column panels), both as wall time of the whole simulation.
+func Pipeline(size Size) (*Report, error) {
+	data, err := pastis.GenerateMetaclustLike(size.PipelineSeqs, 5)
+	if err != nil {
+		return nil, err
+	}
+	r := newReport("pipeline", size)
+	variants := []struct {
+		name   string
+		blocks int
+	}{
+		{"pipeline/build-graph", 1},
+		{"pipeline/build-graph-blocked4", 4},
+	}
+	for _, v := range variants {
+		cfg := pastis.DefaultConfig()
+		cfg.CommonKmerThreshold = 1
+		cfg.Threads = 4
+		cfg.Blocks = v.blocks
+		var opErr error
+		r.Entries = append(r.Entries, Measure(v.name, "after", size.Target, func() (int64, int64) {
+			res, err := pastis.BuildGraph(data.Records, size.PipelineNodes, cfg)
+			if err != nil {
+				opErr = err
+				return 0, 0
+			}
+			return res.Stats.CellsComputed, 0
+		}))
+		if opErr != nil {
+			return nil, opErr
+		}
+	}
+	return r, nil
+}
+
+// All runs the three suites and writes BENCH_spgemm.json,
+// BENCH_kernels.json and BENCH_pipeline.json into dir, returning the
+// written paths in that order.
+func All(size Size, dir string) ([]string, error) {
+	suites := []func(Size) (*Report, error){SpGEMM, Kernels, Pipeline}
+	var paths []string
+	for _, suite := range suites {
+		r, err := suite(size)
+		if err != nil {
+			return paths, err
+		}
+		path, err := r.WriteFile(dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

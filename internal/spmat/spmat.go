@@ -14,8 +14,9 @@
 package spmat
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"unsafe"
 
 	"repro/internal/parallel"
@@ -85,11 +86,11 @@ func FromTriples[T any](rows, cols Index, ts []Triple[T], add func(T, T) T) (*DC
 	copy(sorted, ts)
 	// Stable sort: duplicates accumulate in input order, so results are
 	// deterministic even for non-commutative-looking adds (e.g. seed lists).
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Col != sorted[j].Col {
-			return sorted[i].Col < sorted[j].Col
+	slices.SortStableFunc(sorted, func(a, b Triple[T]) int {
+		if c := cmp.Compare(a.Col, b.Col); c != 0 {
+			return c
 		}
-		return sorted[i].Row < sorted[j].Row
+		return cmp.Compare(a.Row, b.Row)
 	})
 	m := &DCSC[T]{NumRows: rows, NumCols: cols}
 	for _, t := range sorted {
@@ -159,8 +160,8 @@ func (m *DCSC[T]) ToTriples() []Triple[T] {
 // colSpan returns the half-open value range of column id, or (0,0,false)
 // if the column is empty. Lookup is a binary search over JC.
 func (m *DCSC[T]) colSpan(col Index) (lo, hi int, ok bool) {
-	c := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= col })
-	if c == len(m.JC) || m.JC[c] != col {
+	c, found := slices.BinarySearch(m.JC, col)
+	if !found {
 		return 0, 0, false
 	}
 	return m.CP[c], m.CP[c+1], true
@@ -175,8 +176,8 @@ func (m *DCSC[T]) colSpan(col Index) (lo, hi int, ok bool) {
 // rebased. O(result + log columns).
 func (m *DCSC[T]) ColRange(lo, hi Index) *DCSC[T] {
 	out := &DCSC[T]{NumRows: m.NumRows, NumCols: m.NumCols}
-	cLo := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= lo })
-	cHi := sort.Search(len(m.JC), func(i int) bool { return m.JC[i] >= hi })
+	cLo, _ := slices.BinarySearch(m.JC, lo)
+	cHi, _ := slices.BinarySearch(m.JC, hi)
 	if cLo >= cHi {
 		out.CP = []int{0}
 		return out
@@ -207,9 +208,8 @@ func (m *DCSC[T]) At(row, col Index) (T, bool) {
 	if !ok {
 		return zero, false
 	}
-	i := lo + sort.Search(hi-lo, func(k int) bool { return m.IR[lo+k] >= row })
-	if i < hi && m.IR[i] == row {
-		return m.Vals[i], true
+	if j, found := slices.BinarySearch(m.IR[lo:hi], row); found {
+		return m.Vals[lo+j], true
 	}
 	return zero, false
 }
@@ -319,57 +319,12 @@ func aColIndex[A any](a *DCSC[A]) map[Index]int {
 	return aCol
 }
 
-// hashRange multiplies B's nonempty-column range [lo,hi) with a per-column
-// hash accumulator (one of the two local kernels CombBLAS mixes).
-func hashRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol map[Index]int,
-	sr Semiring[A, B, C], lo, hi int) segment[C] {
-
-	var out segment[C]
-	acc := make(map[Index]C)
-	var rows []Index
-	for cb := lo; cb < hi; cb++ {
-		j := b.JC[cb]
-		clear(acc)
-		rows = rows[:0]
-		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
-			k := b.IR[kb]
-			ca, ok := aCol[k]
-			if !ok {
-				continue
-			}
-			bv := b.Vals[kb]
-			for ka := a.CP[ca]; ka < a.CP[ca+1]; ka++ {
-				i := a.IR[ka]
-				contrib := sr.Multiply(a.Vals[ka], bv)
-				out.flops++
-				if old, seen := acc[i]; seen {
-					acc[i] = sr.Add(old, contrib)
-				} else {
-					acc[i] = contrib
-					rows = append(rows, i)
-				}
-			}
-		}
-		if len(rows) == 0 {
-			continue
-		}
-		sort.Slice(rows, func(x, y int) bool { return rows[x] < rows[y] })
-		out.jc = append(out.jc, j)
-		out.cp = append(out.cp, len(out.ir))
-		for _, i := range rows {
-			out.ir = append(out.ir, i)
-			out.vals = append(out.vals, acc[i])
-		}
-	}
-	return out
-}
-
 // heapRange multiplies B's nonempty-column range [lo,hi) by k-way merging
 // A's (row-sorted) columns with a binary heap, producing each output column
 // in row order without a hash table. Faster than hashing for very sparse
 // accumulations (the "compression ratio" near 1 regime); slower when rows
 // repeat often.
-func heapRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol map[Index]int,
+func heapRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol *aColLookup,
 	sr Semiring[A, B, C], lo, hi int) segment[C] {
 
 	var out segment[C]
@@ -378,53 +333,57 @@ func heapRange[A, B, C any](a *DCSC[A], b *DCSC[B], aCol map[Index]int,
 		pos, end int
 		bval     B
 	}
+	var streams []stream
+	// Binary heap of stream indices ordered by current row; buffer and
+	// closures are shared across columns so the column loop stays
+	// allocation-free in steady state.
+	var heap []int
+	less := func(x, y int) bool { return a.IR[streams[x].pos] < a.IR[streams[y].pos] }
+	push := func(s int) {
+		heap = append(heap, s)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
 	for cb := lo; cb < hi; cb++ {
 		j := b.JC[cb]
-		var streams []stream
+		streams = streams[:0]
 		for kb := b.CP[cb]; kb < b.CP[cb+1]; kb++ {
-			if ca, ok := aCol[b.IR[kb]]; ok {
+			if ca, ok := aCol.get(b.IR[kb]); ok {
 				streams = append(streams, stream{pos: a.CP[ca], end: a.CP[ca+1], bval: b.Vals[kb]})
 			}
 		}
 		if len(streams) == 0 {
 			continue
 		}
-		// Binary heap of stream indices ordered by current row.
-		heap := make([]int, 0, len(streams))
-		less := func(x, y int) bool { return a.IR[streams[x].pos] < a.IR[streams[y].pos] }
-		push := func(s int) {
-			heap = append(heap, s)
-			for i := len(heap) - 1; i > 0; {
-				p := (i - 1) / 2
-				if !less(heap[i], heap[p]) {
-					break
-				}
-				heap[i], heap[p] = heap[p], heap[i]
-				i = p
-			}
-		}
-		pop := func() int {
-			top := heap[0]
-			last := len(heap) - 1
-			heap[0] = heap[last]
-			heap = heap[:last]
-			for i := 0; ; {
-				l, r := 2*i+1, 2*i+2
-				small := i
-				if l < len(heap) && less(heap[l], heap[small]) {
-					small = l
-				}
-				if r < len(heap) && less(heap[r], heap[small]) {
-					small = r
-				}
-				if small == i {
-					break
-				}
-				heap[i], heap[small] = heap[small], heap[i]
-				i = small
-			}
-			return top
-		}
+		heap = heap[:0]
 		for s := range streams {
 			push(s)
 		}
@@ -499,7 +458,7 @@ func SpGEMM[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C],
 	if ncols == 0 {
 		return Empty[C](a.NumRows, b.NumCols), Stats{}, nil
 	}
-	aCol := aColIndex(a)
+	aCol := newAColLookup(a)
 	threads := opts.Threads
 	if threads < 1 {
 		threads = 1
@@ -520,9 +479,9 @@ func SpGEMM[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C],
 		// instead of copying them through assemble.
 		var seg segment[C]
 		if opts.UseHeap {
-			seg = heapRange(a, b, aCol, sr, 0, ncols)
+			seg = heapRange(a, b, &aCol, sr, 0, ncols)
 		} else {
-			seg = hashRange(a, b, aCol, sr, 0, ncols)
+			seg = hashRange(a, b, &aCol, sr, 0, ncols)
 		}
 		out := &DCSC[C]{
 			NumRows: a.NumRows, NumCols: b.NumCols,
@@ -533,9 +492,9 @@ func SpGEMM[A, B, C any](a *DCSC[A], b *DCSC[B], sr Semiring[A, B, C],
 	segs := make([]segment[C], nchunks)
 	parallel.ForChunks(threads, ncols, nchunks, func(w, chunk, lo, hi int) {
 		if opts.UseHeap {
-			segs[chunk] = heapRange(a, b, aCol, sr, lo, hi)
+			segs[chunk] = heapRange(a, b, &aCol, sr, lo, hi)
 		} else {
-			segs[chunk] = hashRange(a, b, aCol, sr, lo, hi)
+			segs[chunk] = hashRange(a, b, &aCol, sr, lo, hi)
 		}
 	})
 	out, stats := assemble(a.NumRows, b.NumCols, segs)

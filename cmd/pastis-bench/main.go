@@ -8,6 +8,7 @@
 //	pastis-bench -experiment fig14strong  # one experiment
 //	pastis-bench -scale full -csv out/    # full suite with CSV output
 //	pastis-bench -wallclock -json .       # wall-clock layer: BENCH_*.json
+//	pastis-bench -wallclock -suite comm   # one wall-clock suite only
 //
 // Experiment ids: fig12 fig13 table1 fig14strong fig14weak fig15 fig16
 // fig17 table2 claims ablations threads blocked kernels.
@@ -38,6 +39,7 @@ func main() {
 		scaleFl   = flag.String("scale", "small", "dataset scale: tiny, small or full")
 		csvDir    = flag.String("csv", "", "directory for CSV output (optional)")
 		wallclock = flag.Bool("wallclock", false, "run the wall-clock benchmark layer instead of the experiments")
+		suiteFl   = flag.String("suite", "all", "with -wallclock: one suite (spgemm, kernels, pipeline, comm) or 'all'")
 		jsonDir   = flag.String("json", ".", "directory for BENCH_*.json output (with -wallclock)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	if *wallclock {
-		runWallclock(*scaleFl, *jsonDir)
+		runWallclock(*scaleFl, *suiteFl, *jsonDir)
 		return
 	}
 
@@ -111,10 +113,9 @@ func main() {
 	}
 }
 
-// runWallclock runs the three wall-clock suites, writes BENCH_*.json into
-// dir and prints each report as an aligned table with before/after
-// speedups.
-func runWallclock(scale, dir string) {
+// runWallclock runs the wall-clock suites, writes BENCH_*.json into dir
+// and prints each report as an aligned table with before/after speedups.
+func runWallclock(scale, suite, dir string) {
 	size, err := bench.SizeFor(scale)
 	if err != nil {
 		fatal(err)
@@ -122,13 +123,23 @@ func runWallclock(scale, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fatal(err)
 	}
-	suites := []struct {
+	all := []struct {
 		name string
 		fn   func(bench.Size) (*bench.Report, error)
 	}{
 		{"spgemm", bench.SpGEMM},
 		{"kernels", bench.Kernels},
 		{"pipeline", bench.Pipeline},
+		{"comm", bench.Comm},
+	}
+	suites := all[:0]
+	for _, s := range all {
+		if suite == "all" || suite == s.name {
+			suites = append(suites, s)
+		}
+	}
+	if len(suites) == 0 {
+		fatal(fmt.Errorf("unknown -suite %q (want spgemm, kernels, pipeline, comm or all)", suite))
 	}
 	for _, s := range suites {
 		start := time.Now()

@@ -50,6 +50,7 @@ func main() {
 		threads = flag.Int("threads", 1, "intra-rank threads for SpGEMM and alignment (0 = all host cores)")
 		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
 		blocks  = flag.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)")
+		transp  = flag.String("transport", "shared", "block transport: shared (zero-copy) or codec (byte serialization reference)")
 		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
@@ -92,6 +93,7 @@ func main() {
 	cfg.Threads = parallel.Resolve(*threads)
 	cfg.BatchSize = *batch
 	cfg.Blocks = *blocks
+	cfg.Transport = *transp
 	// Any registered kernel name (or "none") is valid; core's config
 	// validation rejects unknown names with the registered list.
 	cfg.Align = pastis.AlignMode(*alignFl)

@@ -339,8 +339,11 @@ var deadCell = cell{h: negInf, e: negInf, f: negInf}
 // xdropExtend runs gapped extension DP anchored at (0,0) over rows of a,
 // pruning cells whose H score drops more than XDrop below the running best.
 // Scoring work is proportional to the live band per row (rows whose band
-// dies end the extension); row buffers are fully cleared between rows for
-// simplicity, which keeps the worst case at O(len(a)·len(b)) like plain DP.
+// dies end the extension). Both row buffers are cleared to deadCell once up
+// front; between rows only the band a buffer was dirtied in is re-cleared,
+// so per-row cost tracks the live band rather than len(b). The left
+// neighbor is carried in a register across the inner loop — cur[j-1] is
+// either the cell just written or deadCell, never a fresh load.
 // Returns the best-scoring end point with its path statistics.
 func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 	if len(a) == 0 || len(b) == 0 {
@@ -356,6 +359,9 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 	prev, cur := al.prevCells, al.curCells
 	for j := range prev {
 		prev[j] = deadCell
+	}
+	for j := range cur {
+		cur[j] = deadCell
 	}
 	prev[0] = cell{h: 0, e: negInf, f: negInf}
 
@@ -382,22 +388,28 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 		hi = j
 	}
 
+	// Dirty (written) band per buffer: prev holds row 0's run, cur is clean.
+	prevDirtyLo, prevDirtyHi := 0, hi
+	curDirtyLo, curDirtyHi := 1, 0
+
 	for i := 1; i <= len(a); i++ {
 		ai := a[i-1]
-		for j := range cur {
+		scoreRow := p.Scoring.Matrix.Row(ai)
+		for j := curDirtyLo; j <= curDirtyHi; j++ {
 			cur[j] = deadCell
 		}
 		newLo, newHi := -1, -1
+		left := deadCell // cur[lo-1] is never written this row
 		for j := lo; j <= len(b); j++ {
 			// Beyond the reach of the previous row, only an E chain from the
 			// current row can stay alive; stop once that dies too.
-			if j > hi+1 && (j == 0 || (cur[j-1].h <= negInf && cur[j-1].e <= negInf)) {
+			if j > hi+1 && (j == 0 || (left.h <= negInf && left.e <= negInf)) {
 				break
 			}
 			cells++
 			c := deadCell
 			if j > 0 {
-				if left := cur[j-1]; left.h > negInf || left.e > negInf {
+				if left.h > negInf || left.e > negInf {
 					c.e = left.h - openCost
 					c.me, c.ae = left.mh, left.ah+1
 					if ext := left.e - extCost; ext > c.e {
@@ -418,7 +430,7 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 					if ai == b[j-1] {
 						match = 1
 					}
-					c.h = d.h + int32(p.Scoring.Matrix.Score(ai, b[j-1]))
+					c.h = d.h + int32(scoreRow[b[j-1]])
 					c.mh, c.ah = d.mh+match, d.ah+1
 				}
 			}
@@ -429,9 +441,11 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 				c.h, c.mh, c.ah = c.f, c.mf, c.af
 			}
 			if c.h < bestScore-x {
+				left = deadCell
 				continue // cell dies; cur[j] stays dead
 			}
 			cur[j] = c
+			left = c
 			if newLo == -1 {
 				newLo = j
 			}
@@ -449,6 +463,8 @@ func (al *Aligner) xdropExtend(a, b []alphabet.Code, p XDropParams) extension {
 		}
 		lo, hi = newLo, newHi
 		prev, cur = cur, prev
+		curDirtyLo, curDirtyHi = prevDirtyLo, prevDirtyHi
+		prevDirtyLo, prevDirtyHi = newLo, newHi
 	}
 	best.cells = cells
 	return best

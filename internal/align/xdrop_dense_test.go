@@ -1,0 +1,38 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+)
+
+// TestXDropDenseMatchesBanded holds the banded-clear x-drop extension
+// bit-identical to the frozen dense-clear twin across a randomized stream
+// of seeded pairs, mixing unrelated and homologous sequences (homologs
+// grow wide live bands, the case where the dirty-range bookkeeping has to
+// agree with a full clear).
+func TestXDropDenseMatchesBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	al := NewAligner()
+	alDense := NewAligner()
+	p := DefaultXDrop()
+	const k = 6
+	for trial := 0; trial < 400; trial++ {
+		x := randomSeq(rng, rng.Intn(200)+k)
+		y := randomSeq(rng, rng.Intn(200)+k)
+		if trial%2 == 0 {
+			y = append([]alphabet.Code(nil), x...)
+			for i := 0; i < len(y)/6; i++ {
+				y[rng.Intn(len(y))] = alphabet.Code(rng.Intn(20))
+			}
+		}
+		seedA, seedB := rng.Intn(len(x)-k+1), rng.Intn(len(y)-k+1)
+		got, err1 := al.XDrop(x, y, seedA, seedB, k, p)
+		want, err2 := alDense.xDropDense(x, y, seedA, seedB, k, p)
+		if (err1 == nil) != (err2 == nil) || got != want {
+			t.Fatalf("trial %d (seed %d,%d): banded %+v (%v) != dense twin %+v (%v)",
+				trial, seedA, seedB, got, err1, want, err2)
+		}
+	}
+}

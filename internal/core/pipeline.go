@@ -55,6 +55,9 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Transport == "codec" {
+		grid.Backend = dmat.BackendCodec
+	}
 	clock := comm.Clock()
 	// Declare the rank's intra-rank thread count: parallel stages charge
 	// compute as ops/min(threads, CoresPerNode) (paper follow-up: one rank
@@ -223,6 +226,11 @@ func validate(cfg Config) error {
 		if _, err := align.KernelFactory(string(cfg.Align)); err != nil {
 			return fmt.Errorf("core: Config.Align: %w", err)
 		}
+	}
+	switch cfg.Transport {
+	case "", "shared", "codec":
+	default:
+		return fmt.Errorf("core: Config.Transport %q (want \"\", \"shared\" or \"codec\")", cfg.Transport)
 	}
 	return nil
 }

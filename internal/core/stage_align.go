@@ -52,7 +52,7 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 			return transposeOverlap(v)
 		})
 		res.parOps += float64(btp.Local.NNZ()) * opsPerVisitNNZ
-		merged, err := spmat.EWiseAdd(local, bt, MergeOverlap)
+		merged, err := spmat.EWiseAdd(local, bt, overlapAdd)
 		if err != nil {
 			res.err = err
 			return res

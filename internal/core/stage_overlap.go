@@ -78,7 +78,7 @@ func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, bl
 			mapped := b.Map(transposeOverlap)
 			bt := mapped.Transpose()
 			mapped.Release()
-			sym, err = dmat.EWiseAdd(b, bt, MergeOverlap)
+			sym, err = dmat.EWiseAdd(b, bt, overlapAdd)
 			bt.Release()
 			b.Release()
 		})
@@ -88,6 +88,16 @@ func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, bl
 		return yield(0, 0, sym.Local.NumCols, sym, nil)
 	}
 
+	// Both products re-broadcast their left operand's block columns every
+	// panel. The stage cache keeps each block resident after its first trip
+	// so later panels skip those broadcasts — but each cached operand also
+	// holds a full block row on every rank, which eats into the memory
+	// headroom that blocked waves exist to create. Caching only A (the
+	// narrow exact operand) keeps multi-wave peak below the single-wave
+	// baseline; caching the wide AS operand tips it over.
+	if ops.a.EnableStageCache() {
+		defer ops.a.ReleaseStageCache()
+	}
 	for k := 0; k < blocks; k++ {
 		lo, hi := ops.at.PanelRange(blocks, k)
 		var bp, btp *dmat.Mat[Overlap]

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTransportBackendsEquivalent is the pipeline-level differential test
+// for the transport layer: with Transport "shared" (the zero-copy default)
+// and "codec" (full byte serialization), the PSG edges, the Stats, and the
+// virtual-clock totals — MaxTime, TotalBytes, PeakBytes — must be
+// bit-identical across thread counts, wave counts and cluster sizes. The
+// shared path charges the analytically computed size of the encoding it
+// skips, so the clocks cannot drift apart without this test failing.
+func TestTransportBackendsEquivalent(t *testing.T) {
+	data := familyDataset(t, 5, 53)
+	for _, subs := range []int{0, 5} {
+		for _, variant := range []struct{ p, blocks, threads int }{
+			{1, 1, 1}, {4, 1, 1}, {4, 4, 1}, {4, 2, 4}, {9, 3, 2},
+		} {
+			cfg := DefaultConfig()
+			cfg.SubstituteKmers = subs
+			cfg.CommonKmerThreshold = 1
+			cfg.Blocks = variant.blocks
+			cfg.Threads = variant.threads
+
+			cfg.Transport = "shared"
+			sharedEdges, sharedStats, sharedCl := runPipeline(t, data.Records, variant.p, cfg)
+			cfg.Transport = "codec"
+			codecEdges, codecStats, codecCl := runPipeline(t, data.Records, variant.p, cfg)
+
+			name := func() string {
+				return "subs=" + string(rune('0'+subs)) + " variant"
+			}()
+			if !statsEqual(sharedStats, codecStats) {
+				t.Fatalf("%s p=%d blocks=%d threads=%d: stats differ: %+v vs %+v",
+					name, variant.p, variant.blocks, variant.threads, sharedStats, codecStats)
+			}
+			if len(sharedEdges) == 0 || len(sharedEdges) != len(codecEdges) {
+				t.Fatalf("%s p=%d blocks=%d threads=%d: %d edges (shared) vs %d (codec)",
+					name, variant.p, variant.blocks, variant.threads, len(sharedEdges), len(codecEdges))
+			}
+			for i := range sharedEdges {
+				if sharedEdges[i] != codecEdges[i] {
+					t.Fatalf("%s p=%d blocks=%d threads=%d: edge %d differs: %+v vs %+v",
+						name, variant.p, variant.blocks, variant.threads, i, sharedEdges[i], codecEdges[i])
+				}
+			}
+			if sharedCl.MaxTime() != codecCl.MaxTime() {
+				t.Errorf("%s p=%d blocks=%d threads=%d: MaxTime %g (shared) vs %g (codec)",
+					name, variant.p, variant.blocks, variant.threads, sharedCl.MaxTime(), codecCl.MaxTime())
+			}
+			if sharedCl.TotalBytes() != codecCl.TotalBytes() {
+				t.Errorf("%s p=%d blocks=%d threads=%d: TotalBytes %d (shared) vs %d (codec)",
+					name, variant.p, variant.blocks, variant.threads, sharedCl.TotalBytes(), codecCl.TotalBytes())
+			}
+			if sharedCl.PeakBytes() != codecCl.PeakBytes() {
+				t.Errorf("%s p=%d blocks=%d threads=%d: PeakBytes %d (shared) vs %d (codec)",
+					name, variant.p, variant.blocks, variant.threads, sharedCl.PeakBytes(), codecCl.PeakBytes())
+			}
+		}
+	}
+}
+
+func TestTransportValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transport = "grpc"
+	if err := validate(cfg); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	for _, ok := range []string{"", "shared", "codec"} {
+		cfg.Transport = ok
+		if err := validate(cfg); err != nil {
+			t.Fatalf("transport %q rejected: %v", ok, err)
+		}
+	}
+}

@@ -147,6 +147,16 @@ type Config struct {
 	// the candidate matrix in a single wave (the SC20 shape).
 	Blocks int
 
+	// Transport selects the block transport backend: "" or "shared" is the
+	// zero-copy shared-memory path (collectives hand immutable references,
+	// charging the clock with the analytically computed wire bytes);
+	// "codec" forces full byte serialization — the deterministic reference
+	// path and future wire format. The similarity graph AND the virtual
+	// clock (Time, BytesOnWire, PeakBytes) are bit-identical between the
+	// two; "codec" exists for differential testing and as the template a
+	// real multi-process backend will follow.
+	Transport string
+
 	// UseHeapKernel switches the local SpGEMM kernel (ablation).
 	UseHeapKernel bool
 	// BlockingExchange disables communication/computation overlap: the
@@ -211,8 +221,69 @@ func seedLess(a, b SeedPos) bool {
 }
 
 // MergeOverlap is the semiring addition for B: counts accumulate and the
-// two best seeds (by distance, then position) are retained.
+// two best seeds (by distance, then position) are retained. Every Overlap
+// in the system keeps its seeds in seedLess order (Multiply emits one
+// seed, transposeOverlap re-sorts, this function preserves it), so the
+// best two are a two-way merge of two sorted lists — no slice, no
+// sort.Slice: this runs once per accumulated nonzero inside the SpGEMM
+// hot loop, where it used to be the pipeline's dominant allocator.
+// mergeOverlapSort is the frozen pre-rewrite twin held bit-identical by
+// TestMergeOverlapMatchesSort.
 func MergeOverlap(x, y Overlap) Overlap {
+	out := Overlap{Count: x.Count + y.Count}
+	var i, j int32
+	for out.NumSeeds < 2 && (i < x.NumSeeds || j < y.NumSeeds) {
+		var s SeedPos
+		switch {
+		case i >= x.NumSeeds:
+			s = y.Seeds[j]
+			j++
+		case j >= y.NumSeeds:
+			s = x.Seeds[i]
+			i++
+		case seedLess(y.Seeds[j], x.Seeds[i]):
+			s = y.Seeds[j]
+			j++
+		default:
+			s = x.Seeds[i]
+			i++
+		}
+		if out.NumSeeds > 0 && out.Seeds[out.NumSeeds-1] == s {
+			continue // duplicate seed
+		}
+		out.Seeds[out.NumSeeds] = s
+		out.NumSeeds++
+	}
+	return out
+}
+
+// overlapAdd is the live overlap addition used by the B-building semirings
+// and the symmetrization merges — MergeOverlap unless SetFrozenMerge has
+// swapped in the frozen twin.
+var overlapAdd = MergeOverlap
+
+// SetFrozenMerge routes every overlap addition through the frozen
+// sort-based twin (true) or the live allocation-free merge (false). Bench
+// harness use only: it lets the frozen-baseline pipeline phase run the
+// pre-rewrite semiring from the same binary. Not safe to call while a
+// pipeline is running.
+func SetFrozenMerge(frozen bool) {
+	add := MergeOverlap
+	if frozen {
+		add = MergeOverlapSort
+	}
+	overlapAdd = add
+	ExactSemiring.Add = add
+	SubstituteSemiring.Add = add
+	btSemiring.Add = add
+}
+
+// MergeOverlapSort is the pre-rewrite MergeOverlap kept as the frozen
+// differential twin: concatenate, sort, take the first two distinct.
+// TestMergeOverlapMatchesSort holds it bit-identical to MergeOverlap; the
+// bench harness's frozen-baseline pipeline phase swaps it in via
+// SetFrozenMerge to measure the allocation-free merge's win.
+func MergeOverlapSort(x, y Overlap) Overlap {
 	out := Overlap{Count: x.Count + y.Count}
 	var all []SeedPos
 	all = append(all, x.Seeds[:x.NumSeeds]...)
@@ -327,6 +398,7 @@ var OverlapCodec = dmat.Codec[Overlap]{
 		}
 		return v, off
 	},
+	Width: 32, // Count + NumSeeds + 2 seeds of 3 int32s
 }
 
 // PosDistCodec serializes AS values.
@@ -337,6 +409,7 @@ var PosDistCodec = dmat.Codec[PosDist]{
 	Decode: func(src []byte) (PosDist, int) {
 		return PosDist{Pos: getI32(src), Dist: getI32(src[4:])}, 8
 	},
+	Width: 8,
 }
 
 // Edge is one similarity-graph edge; R < C always (each unordered pair is

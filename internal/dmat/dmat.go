@@ -7,6 +7,7 @@
 package dmat
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,25 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/spmat"
+)
+
+// Backend selects how collectives move matrix blocks between ranks.
+type Backend int
+
+const (
+	// BackendShared is the zero-copy shared-memory transport: ranks are
+	// goroutines in one address space, so collectives hand blocks to
+	// receivers by reference (mpi.BcastShared and friends) and charge the
+	// virtual clock with the analytically computed wire size of the codec
+	// encoding. Blocks received this way alias the sender's memory and are
+	// read-only by contract. The default.
+	BackendShared Backend = iota
+	// BackendCodec serializes every block through the byte codecs — the
+	// deterministic reference transport, and the wire format a future
+	// multi-process backend would speak. Clock charges are identical to
+	// BackendShared by construction (the shared path charges exactly the
+	// codec payload's size); differential tests hold the two equivalent.
+	BackendCodec
 )
 
 // Grid is the √p×√p process grid with its row and column communicators
@@ -26,6 +46,9 @@ type Grid struct {
 	MyCol   int
 	RowComm *mpi.Comm // all ranks in my grid row; rank within = MyCol
 	ColComm *mpi.Comm // all ranks in my grid column; rank within = MyRow
+	// Backend is the block transport; every rank of the grid must set the
+	// same value before the first collective matrix operation.
+	Backend Backend
 }
 
 // NewGrid builds the grid; the communicator size must be a perfect square
@@ -70,21 +93,28 @@ func BlockOf(x, n spmat.Index, q int) int {
 	return int(x / size)
 }
 
-// Codec serializes matrix values for communication.
+// Codec serializes matrix values for communication. Width is the encoded
+// size of one value in bytes; every codec in the tree is fixed-width, and a
+// positive Width is what lets the shared-memory backend compute a payload's
+// wire size analytically (and the codec backend preallocate exactly). A
+// zero Width forces the byte path with conservative capacity estimates.
 type Codec[T any] struct {
 	Append func(dst []byte, v T) []byte
 	Decode func(src []byte) (T, int)
+	Width  int
 }
 
 // Int64Codec, Int32Codec and Float64Codec cover the common value types.
 var Int64Codec = Codec[int64]{
 	Append: func(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) },
 	Decode: func(src []byte) (int64, int) { return int64(getU64(src)), 8 },
+	Width:  8,
 }
 
 var Float64Codec = Codec[float64]{
 	Append: func(dst []byte, v float64) []byte { return appendU64(dst, math.Float64bits(v)) },
 	Decode: func(src []byte) (float64, int) { return math.Float64frombits(getU64(src)), 8 },
+	Width:  8,
 }
 
 var Int32Codec = Codec[int32]{
@@ -94,6 +124,7 @@ var Int32Codec = Codec[int32]{
 	Decode: func(src []byte) (int32, int) {
 		return int32(uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24), 4
 	},
+	Width: 4,
 }
 
 // Mat is a 2D block-distributed sparse matrix. Process (i,j) stores the
@@ -104,6 +135,50 @@ type Mat[T any] struct {
 	Rows, Cols spmat.Index
 	Local      *spmat.DCSC[T]
 	codec      Codec[T]
+	cache      *stageCache[T]
+}
+
+// stageCache retains the SUMMA stage blocks of a broadcast operand across
+// panels. Without it, a blocked multiply re-broadcasts A's block column s
+// once per panel; with it, stage s ships during the first panel and every
+// later panel reuses the resident block — the broadcast is skipped entirely
+// (deterministically, on every rank of the grid at once, so the collective
+// sequence stays aligned). charged records what each received block added
+// to the live-bytes ledger; it is refunded when the cache is released.
+type stageCache[T any] struct {
+	blocks  []*spmat.DCSC[T]
+	charged []int64
+}
+
+// EnableStageCache arms the stage-block cache on a broadcast operand for
+// the duration of a panelized multiply. Reports whether this call armed it
+// (false if already armed, so nested arming is left to the outer owner).
+// Collective discipline: every rank must arm and release together.
+func (m *Mat[T]) EnableStageCache() bool {
+	if m.cache != nil {
+		return false
+	}
+	m.cache = &stageCache[T]{
+		blocks:  make([]*spmat.DCSC[T], m.Grid.Q),
+		charged: make([]int64, m.Grid.Q),
+	}
+	return true
+}
+
+// ReleaseStageCache drops the cached stage blocks and refunds their ledger
+// bytes. Idempotent.
+func (m *Mat[T]) ReleaseStageCache() {
+	if m.cache == nil {
+		return
+	}
+	var total int64
+	for _, c := range m.cache.charged {
+		total += c
+	}
+	if total > 0 {
+		m.Grid.Comm.Clock().FreeBytes(total)
+	}
+	m.cache = nil
 }
 
 // RowOffset and ColOffset return the global index of the local block origin.
@@ -161,31 +236,83 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 	codec Codec[T], add func(T, T) T) (*Mat[T], error) {
 
 	clock := g.Comm.Clock()
-	bufs := make([][]byte, g.Comm.Size())
-	for _, t := range ts {
+	size := g.Comm.Size()
+	owners := make([]int, len(ts))
+	counts := make([]int, size)
+	for i, t := range ts {
 		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
 			return nil, fmt.Errorf("dmat: triple (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols)
 		}
 		owner := g.RankOf(BlockOf(t.Row, rows, g.Q), BlockOf(t.Col, cols, g.Q))
-		b := bufs[owner]
-		b = appendU64(b, uint64(t.Row))
-		b = appendU64(b, uint64(t.Col))
-		b = codec.Append(b, t.Val)
-		bufs[owner] = b
+		owners[i] = owner
+		counts[owner]++
 	}
 	clock.Ops(float64(len(ts)) * buildOps)
-	parts := g.Comm.Alltoallv(bufs)
 
 	m := &Mat[T]{Grid: g, Rows: rows, Cols: cols, codec: codec}
 	rowOff, colOff := m.RowOffset(), m.ColOffset()
 	var local []spmat.Triple[T]
-	for _, part := range parts {
-		for len(part) > 0 {
-			r := spmat.Index(getU64(part))
-			c := spmat.Index(getU64(part[8:]))
-			v, n := codec.Decode(part[16:])
-			part = part[16+n:]
-			local = append(local, spmat.Triple[T]{Row: r - rowOff, Col: c - colOff, Val: v})
+
+	if g.Backend == BackendShared && codec.Width > 0 {
+		// Zero-copy shuffle: hand each owner its bucket of triples by
+		// reference, charging the wire with the byte encoding's exact size
+		// (16 bytes of indices + Width per triple).
+		rec := int64(16 + codec.Width)
+		buckets := make([][]spmat.Triple[T], size)
+		wire := make([]int64, size)
+		for owner, n := range counts {
+			if n > 0 {
+				buckets[owner] = make([]spmat.Triple[T], 0, n)
+			}
+			wire[owner] = int64(n) * rec
+		}
+		for i, t := range ts {
+			buckets[owners[i]] = append(buckets[owners[i]], t)
+		}
+		parts := mpi.AlltoallvShared(g.Comm, buckets, wire)
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		local = make([]spmat.Triple[T], 0, total)
+		for _, part := range parts {
+			for _, t := range part {
+				local = append(local, spmat.Triple[T]{Row: t.Row - rowOff, Col: t.Col - colOff, Val: t.Val})
+			}
+		}
+	} else {
+		rec := 16 + codec.Width
+		bufs := make([][]byte, size)
+		if codec.Width > 0 {
+			for owner, n := range counts {
+				if n > 0 {
+					bufs[owner] = make([]byte, 0, n*rec)
+				}
+			}
+		}
+		for i, t := range ts {
+			b := bufs[owners[i]]
+			b = appendU64(b, uint64(t.Row))
+			b = appendU64(b, uint64(t.Col))
+			b = codec.Append(b, t.Val)
+			bufs[owners[i]] = b
+		}
+		parts := g.Comm.Alltoallv(bufs)
+		if codec.Width > 0 {
+			total := 0
+			for _, p := range parts {
+				total += len(p) / rec
+			}
+			local = make([]spmat.Triple[T], 0, total)
+		}
+		for _, part := range parts {
+			for len(part) > 0 {
+				r := spmat.Index(getU64(part))
+				c := spmat.Index(getU64(part[8:]))
+				v, n := codec.Decode(part[16:])
+				part = part[16+n:]
+				local = append(local, spmat.Triple[T]{Row: r - rowOff, Col: c - colOff, Val: v})
+			}
 		}
 	}
 	clock.Ops(float64(len(local)) * buildOps)
@@ -208,9 +335,13 @@ func (m *Mat[T]) NNZ() int64 {
 // GatherTriples collects the full matrix as global-index triples on grid
 // rank 0 (nil elsewhere). Collective; for tests, output and small data.
 func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
+	ts := m.Local.ToTriples()
 	var buf []byte
+	if m.codec.Width > 0 {
+		buf = make([]byte, 0, len(ts)*(16+m.codec.Width))
+	}
 	rowOff, colOff := m.RowOffset(), m.ColOffset()
-	for _, t := range m.Local.ToTriples() {
+	for _, t := range ts {
 		buf = appendU64(buf, uint64(t.Row+rowOff))
 		buf = appendU64(buf, uint64(t.Col+colOff))
 		buf = m.codec.Append(buf, t.Val)
@@ -220,6 +351,13 @@ func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
 		return nil
 	}
 	var out []spmat.Triple[T]
+	if rec := 16 + m.codec.Width; m.codec.Width > 0 {
+		total := 0
+		for _, p := range parts {
+			total += len(p) / rec
+		}
+		out = make([]spmat.Triple[T], 0, total)
+	}
 	for _, part := range parts {
 		for len(part) > 0 {
 			r := spmat.Index(getU64(part))
@@ -232,23 +370,47 @@ func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
 	return out
 }
 
+// BlockWireBytes is the exact byte length encodeBlock produces for a block
+// under a fixed-width codec: a 32-byte header, 8 bytes per nonempty column
+// for JC, 8 per CP entry (ncols+1), 8 per nonzero for IR, and width per
+// value. The shared-memory backend charges the virtual clock with this
+// size instead of encoding, which is what keeps its accounting bit-equal
+// to the codec backend's.
+func BlockWireBytes[T any](b *spmat.DCSC[T], width int) int64 {
+	return 32 + int64(len(b.JC))*16 + 8 + int64(b.NNZ())*int64(8+width)
+}
+
 // encodeBlock serializes a local DCSC for broadcast within SUMMA by writing
 // the compressed arrays directly (CombBLAS ships CSC arrays the same way);
-// no re-sorting is needed on the receiving side.
+// no re-sorting is needed on the receiving side. The buffer is sized
+// exactly up front (BlockWireBytes) and the index arrays are written by
+// offset rather than element-at-a-time appends.
 func encodeBlock[T any](b *spmat.DCSC[T], codec Codec[T]) []byte {
-	buf := make([]byte, 0, 32+len(b.JC)*16+len(b.IR)*8+len(b.Vals)*8)
-	buf = appendU64(buf, uint64(b.NumRows))
-	buf = appendU64(buf, uint64(b.NumCols))
-	buf = appendU64(buf, uint64(len(b.JC)))
-	buf = appendU64(buf, uint64(b.NNZ()))
+	ncols := len(b.JC)
+	nnz := b.NNZ()
+	width := codec.Width
+	if width <= 0 {
+		width = 8 // capacity guess only; variable-width values still append
+	}
+	fixed := 32 + ncols*16 + 8 + nnz*8
+	buf := make([]byte, fixed, fixed+nnz*width)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(b.NumRows))
+	le.PutUint64(buf[8:], uint64(b.NumCols))
+	le.PutUint64(buf[16:], uint64(ncols))
+	le.PutUint64(buf[24:], uint64(nnz))
+	off := 32
 	for _, c := range b.JC {
-		buf = appendU64(buf, uint64(c))
+		le.PutUint64(buf[off:], uint64(c))
+		off += 8
 	}
 	for _, p := range b.CP {
-		buf = appendU64(buf, uint64(p))
+		le.PutUint64(buf[off:], uint64(p))
+		off += 8
 	}
 	for _, r := range b.IR {
-		buf = appendU64(buf, uint64(r))
+		le.PutUint64(buf[off:], uint64(r))
+		off += 8
 	}
 	for _, v := range b.Vals {
 		buf = codec.Append(buf, v)
@@ -260,38 +422,78 @@ func decodeBlock[T any](buf []byte, codec Codec[T]) (*spmat.DCSC[T], error) {
 	if len(buf) < 32 {
 		return nil, fmt.Errorf("dmat: truncated block header")
 	}
+	le := binary.LittleEndian
 	m := &spmat.DCSC[T]{
-		NumRows: spmat.Index(getU64(buf)),
-		NumCols: spmat.Index(getU64(buf[8:])),
+		NumRows: spmat.Index(le.Uint64(buf)),
+		NumCols: spmat.Index(le.Uint64(buf[8:])),
 	}
-	ncols := int(getU64(buf[16:]))
-	nnz := int(getU64(buf[24:]))
+	ncols := int(le.Uint64(buf[16:]))
+	nnz := int(le.Uint64(buf[24:]))
 	buf = buf[32:]
 	if want := (ncols*2 + 1 + nnz) * 8; len(buf) < want {
 		return nil, fmt.Errorf("dmat: block payload %d bytes, need at least %d", len(buf), want)
 	}
+	off := 0
 	m.JC = make([]spmat.Index, ncols)
 	for i := range m.JC {
-		m.JC[i] = spmat.Index(getU64(buf))
-		buf = buf[8:]
+		m.JC[i] = spmat.Index(le.Uint64(buf[off:]))
+		off += 8
 	}
 	m.CP = make([]int, ncols+1)
 	for i := range m.CP {
-		m.CP[i] = int(getU64(buf))
-		buf = buf[8:]
+		m.CP[i] = int(le.Uint64(buf[off:]))
+		off += 8
 	}
 	m.IR = make([]spmat.Index, nnz)
 	for i := range m.IR {
-		m.IR[i] = spmat.Index(getU64(buf))
-		buf = buf[8:]
+		m.IR[i] = spmat.Index(le.Uint64(buf[off:]))
+		off += 8
 	}
 	m.Vals = make([]T, nnz)
 	for i := range m.Vals {
-		v, n := codec.Decode(buf)
+		v, n := codec.Decode(buf[off:])
 		m.Vals[i] = v
-		buf = buf[n:]
+		off += n
 	}
 	return m, nil
+}
+
+// EncodeBlock and DecodeBlock expose the block wire codec for benchmarks
+// and differential tests; SUMMA reaches it through BcastBlock's codec
+// backend.
+func EncodeBlock[T any](b *spmat.DCSC[T], codec Codec[T]) []byte {
+	return encodeBlock(b, codec)
+}
+
+func DecodeBlock[T any](buf []byte, codec Codec[T]) (*spmat.DCSC[T], error) {
+	return decodeBlock(buf, codec)
+}
+
+// BcastBlock broadcasts blk (non-nil on the root rank of comm only) with
+// the grid's transport backend and returns every rank's view of it. On the
+// shared backend the result aliases the root's block — read-only by
+// contract; on the codec backend receivers decode a private copy while the
+// root reuses its own block without a decode round-trip. Clock charges are
+// identical either way. Exported for the comm benchmark suite.
+func BcastBlock[T any](g *Grid, comm *mpi.Comm, root int, blk *spmat.DCSC[T], codec Codec[T]) (*spmat.DCSC[T], error) {
+	if g.Backend == BackendShared && codec.Width > 0 {
+		var wire int64
+		if comm.Rank() == root {
+			wire = BlockWireBytes(blk, codec.Width)
+		}
+		return mpi.BcastShared(comm, root, blk, wire), nil
+	}
+	var payload []byte
+	if comm.Rank() == root {
+		payload = encodeBlock(blk, codec)
+	}
+	payload = comm.Bcast(root, payload)
+	if comm.Rank() == root {
+		// The root's resident block is bitwise what every receiver decodes;
+		// re-decoding its own payload would only clone it.
+		return blk, nil
+	}
+	return decodeBlock(payload, codec)
 }
 
 // SpGEMMOpts tunes the distributed multiply.
@@ -317,7 +519,7 @@ func DefaultSpGEMMOpts() SpGEMMOpts { return SpGEMMOpts{FlopOps: 8} }
 // full-width special case of the panel engine.
 func SpGEMM[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	codecC Codec[C], opts SpGEMMOpts) (*Mat[C], error) {
-	return spGEMMCols(a, b, sr, codecC, opts, 0, b.Local.NumCols)
+	return spGEMMCols(a, b, sr, codecC, opts, 0, b.Local.NumCols, true)
 }
 
 // PanelRange returns the half-open block-local column range of panel k of
@@ -350,16 +552,19 @@ func SpGEMMPanel[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 		return nil, fmt.Errorf("dmat: SpGEMM panel %d of %d", k, blocks)
 	}
 	lo, hi := b.PanelRange(blocks, k)
-	return spGEMMCols(a, b, sr, codecC, opts, lo, hi)
+	return spGEMMCols(a, b, sr, codecC, opts, lo, hi, k == blocks-1)
 }
 
 // spGEMMCols is the SUMMA engine behind SpGEMM and SpGEMMPanel: it computes
 // the output columns covered by the block-local range [localLo, localHi) of
 // B's columns (clamped to the block width; the range must be the same on
 // every rank of each grid column, which both callers guarantee by deriving
-// it from the block width alone).
+// it from the block width alone). lastUse marks the final panel of a
+// blocked multiply: each cached A block is streamed out of the ledger right
+// after its stage, so the cache charge never overlaps the moment the
+// accumulated result reaches full size.
 func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
-	codecC Codec[C], opts SpGEMMOpts, localLo, localHi spmat.Index) (*Mat[C], error) {
+	codecC Codec[C], opts SpGEMMOpts, localLo, localHi spmat.Index, lastUse bool) (*Mat[C], error) {
 
 	if a.Grid != b.Grid {
 		return nil, fmt.Errorf("dmat: SpGEMM operands on different grids")
@@ -380,29 +585,57 @@ func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	var accum []spmat.Triple[C]
 	var accumBytes int64
 	for s := 0; s < g.Q; s++ {
-		// Broadcast A's block column s along each grid row.
-		var aPayload []byte
-		if g.MyCol == s {
-			aPayload = encodeBlock(a.Local, a.codec)
+		// A's block column s travels along each grid row — unless an armed
+		// stage cache already holds it from an earlier panel, in which case
+		// every rank skips the broadcast together (the cache fills at the
+		// same stages on all ranks, so the collective sequence stays
+		// aligned) and no wire bytes are charged.
+		var aBlk *spmat.DCSC[A]
+		var err error
+		aCached := a.cache != nil && a.cache.blocks[s] != nil
+		if aCached {
+			aBlk = a.cache.blocks[s]
+		} else {
+			var send *spmat.DCSC[A]
+			if g.MyCol == s {
+				send = a.Local
+			}
+			aBlk, err = BcastBlock(g, g.RowComm, s, send, a.codec)
+			if err != nil {
+				return nil, fmt.Errorf("dmat: stage %d broadcast A: %w", s, err)
+			}
 		}
-		aPayload = g.RowComm.Bcast(s, aPayload)
-		aBlk, err := decodeBlock(aPayload, a.codec)
-		if err != nil {
-			return nil, fmt.Errorf("dmat: stage %d decode A: %w", s, err)
+		// The modeled machine materializes received blocks (the root reuses
+		// its resident one, so it allocates nothing): received transients
+		// live for the stage, received cache fills for the cache lifetime.
+		var transient int64
+		switch {
+		case aCached:
+		case a.cache != nil:
+			a.cache.blocks[s] = aBlk
+			if g.MyCol != s {
+				cb := aBlk.Bytes()
+				clock.AllocBytes(cb)
+				a.cache.charged[s] = cb
+			}
+		case g.MyCol != s:
+			transient += aBlk.Bytes()
 		}
-		// Broadcast B's block row s, restricted to the panel, along each
-		// grid column. Over the full range the slice is the whole block, so
-		// SpGEMM's communication volume is unchanged.
-		var bPayload []byte
+		// B's block row s, restricted to the panel, travels along each grid
+		// column. Over the full range the slice is the whole block, so
+		// SpGEMM's communication volume is unchanged. Panels slice B
+		// differently every call, so B blocks are never cached.
+		var bSend *spmat.DCSC[B]
 		if g.MyRow == s {
-			bPayload = encodeBlock(b.Local.ColRange(localLo, localHi), b.codec)
+			bSend = b.Local.ColRange(localLo, localHi)
 		}
-		bPayload = g.ColComm.Bcast(s, bPayload)
-		bBlk, err := decodeBlock(bPayload, b.codec)
+		bBlk, err := BcastBlock(g, g.ColComm, s, bSend, b.codec)
 		if err != nil {
-			return nil, fmt.Errorf("dmat: stage %d decode B: %w", s, err)
+			return nil, fmt.Errorf("dmat: stage %d broadcast B: %w", s, err)
 		}
-		transient := aBlk.Bytes() + bBlk.Bytes()
+		if g.MyRow != s {
+			transient += bBlk.Bytes()
+		}
 		clock.AllocBytes(transient)
 
 		prod, stats, err := spmat.SpGEMM(aBlk, bBlk, sr,
@@ -415,6 +648,15 @@ func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 		clock.AllocBytes(int64(prod.NNZ()) * tripleBytes)
 		accumBytes += int64(prod.NNZ()) * tripleBytes
 		clock.FreeBytes(transient)
+		if lastUse && a.cache != nil && a.cache.blocks[s] != nil {
+			// Final panel: stage s is this block's last trip through the
+			// multiply, so drop it from the cache now instead of holding it
+			// until ReleaseStageCache (deterministic — every rank runs the
+			// same stages). The root's own block was never charged.
+			clock.FreeBytes(a.cache.charged[s])
+			a.cache.charged[s] = 0
+			a.cache.blocks[s] = nil
+		}
 	}
 	// The stage-product multiway merge is threaded in the modeled
 	// implementation (CombBLAS's hybrid SpGEMM), so its cost parallelizes
@@ -427,9 +669,14 @@ func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 	if err != nil {
 		return nil, err
 	}
-	clock.FreeBytes(accumBytes)
+	// Assembly holds the triple buffer and the compressed result at once;
+	// charge the result before retiring the triples so the ledger sees that
+	// double residency (panelized multiplies pay it per panel, monolithic
+	// ones for the whole product — the transient the blocked pipeline
+	// exists to shrink).
 	m := &Mat[C]{Grid: g, Rows: a.Rows, Cols: b.Cols, Local: local, codec: codecC}
 	clock.AllocBytes(m.LocalBytes())
+	clock.FreeBytes(accumBytes)
 	return m, nil
 }
 
@@ -449,6 +696,13 @@ func SpGEMMBlocked[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C]
 	if blocks < 1 {
 		blocks = 1
 	}
+	// A's block columns are identical across panels; callers that know A is
+	// narrow relative to a panel of B can arm Mat.EnableStageCache before
+	// calling so stage s ships once (panel 0) instead of once per panel. The
+	// cache is never armed here: it pins a full block row of A on every
+	// rank, and on operand-dominated inputs that inverts the peak-memory
+	// contract the blocked sweep exists to provide (peak falling as blocks
+	// grow). The trade is the caller's to make.
 	for k := 0; k < blocks; k++ {
 		lo, hi := b.PanelRange(blocks, k)
 		p, err := SpGEMMPanel(a, b, sr, codecC, opts, blocks, k)
@@ -527,13 +781,30 @@ func (m *Mat[T]) Transpose() *Mat[T] {
 	clock.ParOps(float64(m.Local.NNZ()) * buildOps)
 
 	partner := g.RankOf(g.MyCol, g.MyRow)
-	bufs := make([][]byte, g.Comm.Size())
-	bufs[partner] = encodeBlock(tBlock, m.codec)
-	parts := g.Comm.Alltoallv(bufs)
-
-	local, err := decodeBlock(parts[partner], m.codec)
-	if err != nil {
-		panic(fmt.Sprintf("dmat: transpose decode: %v", err)) // our own encoding
+	var local *spmat.DCSC[T]
+	if g.Backend == BackendShared && m.codec.Width > 0 {
+		// Hand the transposed block to the mirror rank by reference; the
+		// sender gives it up (its own new block arrives from the partner),
+		// so adoption by the receiver is safe.
+		vals := make([]*spmat.DCSC[T], g.Comm.Size())
+		wire := make([]int64, g.Comm.Size())
+		vals[partner] = tBlock
+		wire[partner] = BlockWireBytes(tBlock, m.codec.Width)
+		parts := mpi.AlltoallvShared(g.Comm, vals, wire)
+		local = parts[partner]
+	} else {
+		bufs := make([][]byte, g.Comm.Size())
+		bufs[partner] = encodeBlock(tBlock, m.codec)
+		parts := g.Comm.Alltoallv(bufs)
+		if partner == g.Comm.Rank() {
+			local = tBlock // diagonal rank: its own transpose comes right back
+		} else {
+			var err error
+			local, err = decodeBlock(parts[partner], m.codec)
+			if err != nil {
+				panic(fmt.Sprintf("dmat: transpose decode: %v", err)) // our own encoding
+			}
+		}
 	}
 	out := &Mat[T]{Grid: g, Rows: m.Cols, Cols: m.Rows, Local: local, codec: m.codec}
 	clock.AllocBytes(out.LocalBytes())

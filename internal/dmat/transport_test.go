@@ -1,0 +1,257 @@
+package dmat
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/spmat"
+)
+
+// runBackend executes the same distributed program under one transport
+// backend and returns rank 0's gathered triples plus the cluster's clock
+// totals.
+type backendRun struct {
+	triples []spmat.Triple[float64]
+	maxTime float64
+	total   int64
+	peak    int64
+}
+
+func runBackend(t *testing.T, p int, backend Backend,
+	prog func(g *Grid) ([]spmat.Triple[float64], error)) backendRun {
+	t.Helper()
+	var out backendRun
+	cl := runGrid(t, p, func(g *Grid) error {
+		g.Backend = backend
+		ts, err := prog(g)
+		if err != nil {
+			return err
+		}
+		if g.Comm.Rank() == 0 {
+			out.triples = ts
+		}
+		return nil
+	})
+	out.maxTime = cl.MaxTime()
+	out.total = cl.TotalBytes()
+	out.peak = cl.PeakBytes()
+	return out
+}
+
+// TestTransportBackendsEquivalent is the dmat-level differential test: the
+// shared-memory and codec transports must produce bitwise-identical results
+// AND bitwise-identical virtual-clock accounting — MaxTime, TotalBytes,
+// PeakBytes — across grid sizes, thread counts and panel counts, because
+// the shared path charges the analytically computed size of the encoding
+// it never performs.
+func TestTransportBackendsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := spmat.Index(90)
+	aT := randomTriples(rng, n, n, 1500)
+	bT := randomTriples(rng, n, n, 1300)
+	sr := spmat.Semiring[float64, float64, float64]{
+		Multiply: func(x, y float64) float64 { return x * y },
+		Add:      func(x, y float64) float64 { return x + y },
+	}
+	for _, p := range []int{1, 4, 9} {
+		for _, blocks := range []int{1, 3} {
+			for _, threads := range []int{1, 4} {
+				prog := func(g *Grid) ([]spmat.Triple[float64], error) {
+					a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), p), Float64Codec, nil)
+					if err != nil {
+						return nil, err
+					}
+					b, err := NewFromTriples(g, n, n, scatter(bT, g.Comm.Rank(), p), Float64Codec, nil)
+					if err != nil {
+						return nil, err
+					}
+					opts := DefaultSpGEMMOpts()
+					opts.Threads = threads
+					c, err := SpGEMMStreamed(a, b.Transpose(), sr, Float64Codec, opts, blocks)
+					if err != nil {
+						return nil, err
+					}
+					ts := c.GatherTriples()
+					sortTriples(ts)
+					return ts, nil
+				}
+				shared := runBackend(t, p, BackendShared, prog)
+				codec := runBackend(t, p, BackendCodec, prog)
+				name := fmt.Sprintf("p=%d blocks=%d threads=%d", p, blocks, threads)
+				if !reflect.DeepEqual(shared.triples, codec.triples) {
+					t.Errorf("%s: backends disagree on the product", name)
+				}
+				if shared.maxTime != codec.maxTime {
+					t.Errorf("%s: MaxTime %g (shared) vs %g (codec)", name, shared.maxTime, codec.maxTime)
+				}
+				if shared.total != codec.total {
+					t.Errorf("%s: TotalBytes %d (shared) vs %d (codec)", name, shared.total, codec.total)
+				}
+				if shared.peak != codec.peak {
+					t.Errorf("%s: PeakBytes %d (shared) vs %d (codec)", name, shared.peak, codec.peak)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedBlocksNotMutated is the aliasing guard: with the shared
+// backend, SUMMA hands every receiver a reference to the root's resident
+// block. A receiver scribbling on it would corrupt another rank's matrix —
+// so after a round of multiplies, every rank's local block must be exactly
+// what it deposited.
+func TestSharedBlocksNotMutated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := spmat.Index(80)
+	aT := randomTriples(rng, n, n, 1200)
+	bT := randomTriples(rng, n, n, 1100)
+	sr := spmat.Semiring[float64, float64, float64]{
+		Multiply: func(x, y float64) float64 { return x * y },
+		Add:      func(x, y float64) float64 { return x + y },
+	}
+	snapshot := func(m *spmat.DCSC[float64]) *spmat.DCSC[float64] {
+		cp := &spmat.DCSC[float64]{NumRows: m.NumRows, NumCols: m.NumCols}
+		cp.JC = append([]spmat.Index(nil), m.JC...)
+		cp.CP = append([]int(nil), m.CP...)
+		cp.IR = append([]spmat.Index(nil), m.IR...)
+		cp.Vals = append([]float64(nil), m.Vals...)
+		return cp
+	}
+	runGrid(t, 9, func(g *Grid) error {
+		a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), 9), Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		b, err := NewFromTriples(g, n, n, scatter(bT, g.Comm.Rank(), 9), Float64Codec, nil)
+		if err != nil {
+			return err
+		}
+		aWas, bWas := snapshot(a.Local), snapshot(b.Local)
+		if _, err := SpGEMM(a, b, sr, Float64Codec, DefaultSpGEMMOpts()); err != nil {
+			return err
+		}
+		if err := SpGEMMBlocked(a, b, sr, Float64Codec, DefaultSpGEMMOpts(), 3,
+			func(int, spmat.Index, spmat.Index, *Mat[float64]) error { return nil }); err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(aWas, a.Local) {
+			return fmt.Errorf("rank %d: shared A block was mutated", g.Comm.Rank())
+		}
+		if !reflect.DeepEqual(bWas, b.Local) {
+			return fmt.Errorf("rank %d: shared B block was mutated", g.Comm.Rank())
+		}
+		return nil
+	})
+}
+
+// TestStageCacheReducesTraffic: a blocked multiply re-broadcasts A's block
+// column once per panel; with the stage cache armed by the caller, each A
+// block must ship exactly once, so total wire volume drops strictly below
+// the uncached panel loop while the product stays bitwise identical.
+func TestStageCacheReducesTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := spmat.Index(96)
+	aT := randomTriples(rng, n, n, 1600)
+	bT := randomTriples(rng, n, n, 1500)
+	sr := spmat.Semiring[float64, float64, float64]{
+		Multiply: func(x, y float64) float64 { return x * y },
+		Add:      func(x, y float64) float64 { return x + y },
+	}
+	const blocks = 4
+	run := func(cached bool) ([]spmat.Triple[float64], int64) {
+		var ts []spmat.Triple[float64]
+		cl := runGrid(t, 4, func(g *Grid) error {
+			a, err := NewFromTriples(g, n, n, scatter(aT, g.Comm.Rank(), 4), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			b, err := NewFromTriples(g, n, n, scatter(bT, g.Comm.Rank(), 4), Float64Codec, nil)
+			if err != nil {
+				return err
+			}
+			var got []spmat.Triple[float64]
+			yield := func(k int, lo, hi spmat.Index, p *Mat[float64]) error {
+				got = append(got, p.GatherTriples()...)
+				return nil
+			}
+			if cached {
+				a.EnableStageCache()
+				defer a.ReleaseStageCache()
+				err = SpGEMMBlocked(a, b, sr, Float64Codec, DefaultSpGEMMOpts(), blocks, yield)
+			} else {
+				// The pre-cache shape: the raw panel loop, no cache armed.
+				for k := 0; k < blocks; k++ {
+					lo, hi := b.PanelRange(blocks, k)
+					p, perr := SpGEMMPanel(a, b, sr, Float64Codec, DefaultSpGEMMOpts(), blocks, k)
+					if perr != nil {
+						return perr
+					}
+					if err = yield(k, lo, hi, p); err != nil {
+						return err
+					}
+				}
+			}
+			if err != nil {
+				return err
+			}
+			if g.Comm.Rank() == 0 {
+				sortTriples(got)
+				ts = got
+			}
+			return nil
+		})
+		return ts, cl.TotalBytes()
+	}
+	cachedTs, cachedBytes := run(true)
+	rawTs, rawBytes := run(false)
+	if !reflect.DeepEqual(cachedTs, rawTs) {
+		t.Fatalf("stage cache changed the product")
+	}
+	if cachedBytes >= rawBytes {
+		t.Fatalf("stage cache did not reduce traffic: %d >= %d", cachedBytes, rawBytes)
+	}
+}
+
+// TestBlockCodecAllocationStable mirrors spmat's
+// TestHashRangeAllocationStable for the wire codec: encode allocates one
+// exact-capacity buffer and decode one struct plus four arrays, so the
+// allocation count must not scale with block size.
+func TestBlockCodecAllocationStable(t *testing.T) {
+	build := func(nnz int) *spmat.DCSC[float64] {
+		rng := rand.New(rand.NewSource(int64(nnz)))
+		b, err := spmat.FromTriples(400, 400, randomTriples(rng, 400, 400, nnz), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	small, large := build(200), build(4000)
+	allocs := func(b *spmat.DCSC[float64]) (enc, dec float64) {
+		enc = testing.AllocsPerRun(10, func() {
+			_ = EncodeBlock(b, Float64Codec)
+		})
+		payload := EncodeBlock(b, Float64Codec)
+		dec = testing.AllocsPerRun(10, func() {
+			if _, err := DecodeBlock(payload, Float64Codec); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return enc, dec
+	}
+	encS, decS := allocs(small)
+	encL, decL := allocs(large)
+	if encL > encS+1 {
+		t.Errorf("encode allocations scale with size: %.0f (small) vs %.0f (large)", encS, encL)
+	}
+	if decL > decS+1 {
+		t.Errorf("decode allocations scale with size: %.0f (small) vs %.0f (large)", decS, decL)
+	}
+	// Wire-size arithmetic must agree with the actual encoding.
+	for _, b := range []*spmat.DCSC[float64]{small, large, spmat.Empty[float64](10, 10)} {
+		if got, want := int64(len(EncodeBlock(b, Float64Codec))), BlockWireBytes(b, Float64Codec.Width); got != want {
+			t.Errorf("encoded %d bytes, BlockWireBytes says %d", got, want)
+		}
+	}
+}

@@ -519,7 +519,11 @@ type collState struct {
 	clocks   []float64
 	data     [][]byte
 	extra    []int64
-	ready    bool
+	// vals carries in-memory values for the zero-copy shared collectives
+	// (BcastShared and friends): the deposited value is handed to every
+	// rank by reference, never serialized. nil on byte collectives.
+	vals  []any
+	ready bool
 	// derived holds fresh communicator ids per split color, assigned once by
 	// the last-arriving rank from the cluster-wide counter.
 	derived map[int]uint64
@@ -531,7 +535,8 @@ func (cl *Cluster) coll(key collKey, size int) *collState {
 	defer r.mu.Unlock()
 	st, ok := r.collectives[key]
 	if !ok {
-		st = &collState{clocks: make([]float64, size), data: make([][]byte, size), extra: make([]int64, size)}
+		st = &collState{clocks: make([]float64, size), data: make([][]byte, size),
+			extra: make([]int64, size), vals: make([]any, size)}
 		st.cond = sync.NewCond(&st.mu)
 		r.collectives[key] = st
 	}
@@ -549,6 +554,14 @@ func (cl *Cluster) collDone(key collKey) {
 // the communicator arrive, and returns the shared state (valid until the
 // last rank returns; the last rank out removes the state).
 func (c *Comm) rendezvous(data []byte, extra int64) *collState {
+	return c.rendezvousVal(data, extra, nil)
+}
+
+// rendezvousVal is rendezvous with an additional in-memory value deposited
+// by reference (the shared-transport fast path). The state — including the
+// deposited values — becomes read-only once every rank has arrived, so
+// reading sibling slots after the barrier is race-free.
+func (c *Comm) rendezvousVal(data []byte, extra int64, val any) *collState {
 	*c.collSeq++
 	key := collKey{comm: c.id, seq: *c.collSeq}
 	st := c.cluster.coll(key, c.size)
@@ -557,6 +570,7 @@ func (c *Comm) rendezvous(data []byte, extra int64) *collState {
 	st.clocks[c.rank] = c.clock.now
 	st.data[c.rank] = data
 	st.extra[c.rank] = extra
+	st.vals[c.rank] = val
 	st.arrived++
 	if st.arrived == c.size {
 		st.ready = true

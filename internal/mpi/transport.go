@@ -1,0 +1,121 @@
+// Shared-memory transport: typed zero-copy collectives.
+//
+// Every rank of a Cluster is a goroutine in one address space, so a
+// collective does not have to serialize its payload at all — it can hand the
+// receivers a reference to the root's value. What must NOT change is the
+// virtual-time story: the simulated machine still moves bytes over a wire,
+// so the shared collectives charge every clock exactly as their byte-codec
+// twins (Bcast, Alltoallv) would for a payload of the analytically computed
+// wire size. A caller that can state its payload's encoded size gets the
+// codec path's accounting — MaxTime, BytesSent/Received, TotalBytes — bit
+// for bit, without encoding anything.
+//
+// The handoff contract: a value passed through a shared collective is
+// immutable from the moment it is deposited. The root keeps using it, every
+// receiver reads it, nobody writes — exactly the aliasing discipline of an
+// MPI broadcast buffer between post and completion, extended for the
+// value's lifetime because here there is only one copy. dmat enforces this
+// for matrix blocks (receivers treat broadcast blocks as read-only);
+// ad-hoc callers must do the same.
+package mpi
+
+// BcastShared hands root's value v to every rank of the communicator by
+// reference — no serialization, no copy — while charging each rank's clock
+// exactly as Bcast would for a wire payload of wireBytes bytes (binomial
+// tree: log2(p) rounds of alpha + n*beta; root charges sent, others
+// received). Only root's v and wireBytes are consulted; other ranks pass
+// the zero value. The returned value aliases root's v on every rank: it
+// must be treated as immutable by all parties.
+func BcastShared[T any](c *Comm, root int, v T, wireBytes int64) T {
+	var deposit any
+	var wire int64
+	if c.rank == root {
+		deposit = v
+		wire = wireBytes
+	}
+	st := c.rendezvousVal(nil, wire, deposit)
+	out := st.vals[root].(T)
+	n := st.extra[root]
+	m := c.cluster.model
+	t := maxOf(st.clocks) + log2Ceil(c.size)*(m.Alpha+float64(n)*m.Beta)
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	if c.rank != root {
+		c.clock.received += n
+	} else {
+		c.clock.sent += n * int64(c.size-1)
+	}
+	return out
+}
+
+// AlltoallvShared sends vals[j] to rank j by reference and returns what
+// every rank sent to the caller, charging clocks exactly as Alltoallv would
+// for per-destination payloads of wire[j] bytes (pairwise exchanges charged
+// by per-rank volume). vals and wire must both have communicator-size
+// length; unused slots carry the zero value and 0. Received values alias
+// the sender's — immutable by contract.
+func AlltoallvShared[T any](c *Comm, vals []T, wire []int64) []T {
+	if len(vals) != c.size || len(wire) != c.size {
+		panic("mpi: AlltoallvShared with mismatched buffer count")
+	}
+	type deposit struct {
+		vals []T
+		wire []int64
+	}
+	st := c.rendezvousVal(nil, 0, deposit{vals: vals, wire: wire})
+	out := make([]T, c.size)
+	var sent, recv int64
+	for j, w := range wire {
+		if j != c.rank {
+			sent += w
+		}
+	}
+	for i := range out {
+		d := st.vals[i].(deposit)
+		out[i] = d.vals[c.rank]
+		if i != c.rank {
+			recv += d.wire[c.rank]
+		}
+	}
+	m := c.cluster.model
+	t := maxOf(st.clocks) + float64(c.size-1)*m.Alpha + float64(sent+recv)*m.Beta
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	c.clock.sent += sent
+	c.clock.received += recv
+	c.clock.messages += int64(c.size - 1)
+	return out
+}
+
+// GathervShared collects every rank's value at root by reference (other
+// ranks receive nil), charging clocks exactly as Gatherv would for per-rank
+// payloads of wireBytes bytes. Received values alias the senders' —
+// immutable by contract.
+func GathervShared[T any](c *Comm, root int, v T, wireBytes int64) []T {
+	st := c.rendezvousVal(nil, wireBytes, v)
+	m := c.cluster.model
+	var total int64
+	for _, w := range st.extra {
+		total += w
+	}
+	t := maxOf(st.clocks) + log2Ceil(c.size)*m.Alpha
+	if c.rank == root {
+		t += float64(total-wireBytes) * m.Beta
+		c.clock.received += total - wireBytes
+	} else {
+		c.clock.sent += wireBytes
+	}
+	if t > c.clock.now {
+		c.clock.now = t
+	}
+	if c.rank != root {
+		return nil
+	}
+	out := make([]T, c.size)
+	for i := range out {
+		out[i] = st.vals[i].(T)
+	}
+	return out
+}

@@ -9,6 +9,16 @@
 //
 //	benchcheck BENCH_spgemm.json BENCH_kernels.json BENCH_pipeline.json
 //	benchcheck -min 1.0 BENCH_*.json   # additionally gate on speedups
+//	benchcheck -regress 0.05 -baseline BENCH_pipeline.json fresh.json
+//
+// -regress holds a freshly generated report to a committed baseline: for
+// every entry name paired in the baseline, the fresh report's before/after
+// speedup must stay within the given fractional tolerance of the baseline's.
+// Comparing speedup ratios — both halves of each ratio measured from one
+// binary on one machine — keeps the gate meaningful across machines, where
+// raw ns/op would only measure the runner's hardware. The fault-tolerance
+// layer rides on this gate: its fault-free hot path must not erode the
+// committed pipeline win by more than the tolerance.
 //
 // CI runs this against freshly generated reports, so a malformed emitter
 // (or a hand-edited committed baseline) fails the build.
@@ -25,11 +35,31 @@ import (
 
 func main() {
 	minRatio := flag.Float64("min", 0, "minimum before/after speedup for every paired entry (0 = report only)")
+	regress := flag.Float64("regress", 0, "maximum fractional speedup erosion vs -baseline (e.g. 0.05 = 5%; 0 = off)")
+	baseline := flag.String("baseline", "", "committed baseline report for -regress")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no report files given")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if (*regress > 0) != (*baseline != "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: -regress and -baseline must be given together")
+		os.Exit(2)
+	}
+
+	var base map[string]float64
+	if *baseline != "" {
+		r, err := bench.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base = r.Speedups()
+		if len(base) == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: baseline %s has no paired entries to gate on\n", *baseline)
+			os.Exit(1)
+		}
 	}
 
 	failed := false
@@ -56,6 +86,28 @@ func main() {
 				failed = true
 			}
 			fmt.Printf("  %-32s %.2fx%s\n", name, sp[name], verdict)
+		}
+		if base != nil {
+			baseNames := make([]string, 0, len(base))
+			for name := range base {
+				baseNames = append(baseNames, name)
+			}
+			sort.Strings(baseNames)
+			for _, name := range baseNames {
+				want := base[name] * (1 - *regress)
+				got, ok := sp[name]
+				switch {
+				case !ok:
+					fmt.Printf("  %-32s MISSING (baseline has %.2fx)\n", name, base[name])
+					failed = true
+				case got < want:
+					fmt.Printf("  %-32s %.2fx vs baseline %.2fx  REGRESSION (floor %.2fx)\n",
+						name, got, base[name], want)
+					failed = true
+				default:
+					fmt.Printf("  %-32s %.2fx vs baseline %.2fx  ok\n", name, got, base[name])
+				}
+			}
 		}
 	}
 	if failed {

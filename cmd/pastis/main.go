@@ -22,10 +22,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro"
 	"repro/internal/bench"
@@ -51,6 +55,9 @@ func main() {
 		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
 		blocks  = flag.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)")
 		transp  = flag.String("transport", "shared", "block transport: shared (zero-copy) or codec (byte serialization reference)")
+		ckptDir = flag.String("checkpoint", "", "directory for per-wave checkpoints (resumable with -resume)")
+		resume  = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint dir")
+		mem     = flag.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited); breaches retry at doubled -blocks")
 		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
@@ -94,6 +101,9 @@ func main() {
 	cfg.BatchSize = *batch
 	cfg.Blocks = *blocks
 	cfg.Transport = *transp
+	cfg.CheckpointDir = *ckptDir
+	cfg.Resume = *resume
+	cfg.MemBudget = *mem
 	// Any registered kernel name (or "none") is valid; core's config
 	// validation rejects unknown names with the registered list.
 	cfg.Align = pastis.AlignMode(*alignFl)
@@ -106,10 +116,23 @@ func main() {
 		fatal(fmt.Errorf("unknown -weight %q", *weight))
 	}
 
-	res, err := pastis.BuildGraph(recs, *nodes, cfg)
+	// SIGINT/SIGTERM cancel the run at the next collective boundary: the
+	// in-flight wave drains (its checkpoint lands if -checkpoint is set)
+	// and the process exits 130, the conventional interrupted status.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	res, err := pastis.BuildGraphContext(ctx, recs, *nodes, cfg, pastis.DefaultCostModel())
 	if err != nil {
+		if errors.Is(err, pastis.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "pastis: interrupted")
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "pastis: resume with -checkpoint %s -resume\n", *ckptDir)
+			}
+			os.Exit(130)
+		}
 		fatal(err)
 	}
+	stopSignals()
 
 	out := os.Stdout
 	if *outPath != "-" {
@@ -149,7 +172,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
 		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
 		fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)
-		fmt.Fprintf(os.Stderr, "peak bytes:     %d per rank (blocks=%d)\n", res.PeakBytes, *blocks)
+		fmt.Fprintf(os.Stderr, "peak bytes:     %d per rank (blocks=%d)\n", res.PeakBytes, res.EffectiveBlocks)
+		if res.EffectiveBlocks != *blocks {
+			fmt.Fprintf(os.Stderr, "degraded:       -mem budget raised blocks %d -> %d\n", *blocks, res.EffectiveBlocks)
+		}
+		if res.RetryBytes > 0 {
+			fmt.Fprintf(os.Stderr, "retry bytes:    %d re-sent recovering from faults\n", res.RetryBytes)
+		}
 	}
 }
 

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/dmat"
+	"repro/internal/fasta"
+	"repro/internal/mpi"
+	"repro/internal/synth"
+)
+
+// chaosRun is one pipeline execution with the config's fault plan actually
+// armed on the cluster (runPipeline leaves arming to the caller layer, the
+// way pastis.BuildGraph does).
+type chaosRun struct {
+	edges   []Edge
+	stats   Stats
+	blocks  int // Result.EffectiveBlocks on rank 0
+	total   int64
+	retry   int64
+	maxTime float64
+	fstats  mpi.FaultStats
+}
+
+func runChaosPipeline(recs []fasta.Record, p int, cfg Config) (chaosRun, error) {
+	var out chaosRun
+	cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+	if cfg.Faults != nil {
+		cl.ArmFaults(*cfg.Faults)
+	}
+	err := cl.Run(func(c *mpi.Comm) error {
+		n := len(recs)
+		lo, hi := n*c.Rank()/p, n*(c.Rank()+1)/p
+		res, err := Run(c, recs[lo:hi], cfg)
+		if err != nil {
+			return err
+		}
+		all, err := GatherEdges(c, res.Edges)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out.edges = all
+			out.stats = res.Stats
+			out.blocks = res.EffectiveBlocks
+		}
+		return nil
+	})
+	out.total = cl.TotalBytes()
+	out.retry = cl.RetryBytes()
+	out.maxTime = cl.MaxTime()
+	out.fstats = cl.FaultStats()
+	if err != nil {
+		return out, err
+	}
+	sort.Slice(out.edges, func(i, j int) bool {
+		if out.edges[i].R != out.edges[j].R {
+			return out.edges[i].R < out.edges[j].R
+		}
+		return out.edges[i].C < out.edges[j].C
+	})
+	return out, nil
+}
+
+// crashLeavingCheckpoints scans injected crash points until one both fails
+// the run AND leaves checkpoint files behind (an early crash can die before
+// the first wave completes; the simulator is deterministic, so the scan is
+// too). Returns the checkpoint directory.
+func crashLeavingCheckpoints(t *testing.T, recs []fasta.Record, cfg Config) string {
+	t.Helper()
+	for _, at := range []int{30, 40, 60, 80, 120, 160, 240} {
+		d := t.TempDir()
+		crash := cfg
+		crash.CheckpointDir = d
+		plan := mpi.FaultPlan{Seed: 89, RankCrash: map[int]int{1: at}}
+		crash.Faults = &plan
+		_, err := runChaosPipeline(recs, 4, crash)
+		if err == nil {
+			continue // plan never fired: all collectives done before `at`
+		}
+		if !errors.Is(err, mpi.ErrRankCrashed) {
+			t.Fatalf("crash at %d: error %v does not wrap ErrRankCrashed", at, err)
+		}
+		left, globErr := filepath.Glob(filepath.Join(d, "ckpt-*"))
+		if globErr != nil {
+			t.Fatal(globErr)
+		}
+		if len(left) > 0 {
+			return d
+		}
+	}
+	t.Fatal("no crash point left a resumable checkpoint set")
+	return ""
+}
+
+func sameGraph(t *testing.T, name string, got, want chaosRun) {
+	t.Helper()
+	if len(got.edges) != len(want.edges) {
+		t.Errorf("%s: %d edges vs reference %d", name, len(got.edges), len(want.edges))
+		return
+	}
+	for i := range want.edges {
+		if got.edges[i] != want.edges[i] {
+			t.Errorf("%s: edge %d differs: %+v vs %+v", name, i, got.edges[i], want.edges[i])
+			return
+		}
+	}
+	if !statsEqual(got.stats, want.stats) {
+		t.Errorf("%s: stats differ:\n  got  %+v\n  want %+v", name, got.stats, want.stats)
+	}
+}
+
+// TestChaosBitIdentical is the headline robustness guarantee: under any
+// recoverable fault schedule — dropped, corrupted and delayed messages, in
+// any combination, on either transport backend, at any thread and wave
+// count — the pipeline must converge to the exact fault-free similarity
+// graph and Stats, with all recovery traffic segregated so that
+// TotalBytes - RetryBytes equals the fault-free communication bill.
+func TestChaosBitIdentical(t *testing.T) {
+	data := familyDataset(t, 5, 67)
+	plans := []struct {
+		name string
+		plan mpi.FaultPlan
+	}{
+		{"mixed", mpi.FaultPlan{Seed: 31, DropProb: 0.05, CorruptProb: 0.03, DelayProb: 0.05}},
+	}
+	if !testing.Short() {
+		plans = append(plans,
+			struct {
+				name string
+				plan mpi.FaultPlan
+			}{"drop", mpi.FaultPlan{Seed: 71, DropProb: 0.15}},
+			struct {
+				name string
+				plan mpi.FaultPlan
+			}{"corrupt", mpi.FaultPlan{Seed: 73, CorruptProb: 0.1}},
+			struct {
+				name string
+				plan mpi.FaultPlan
+			}{"delay", mpi.FaultPlan{Seed: 79, DelayProb: 0.2}},
+		)
+	}
+	var injected int64
+	for _, transport := range []string{"shared", "codec"} {
+		for _, blocks := range []int{1, 3} {
+			for _, threads := range []int{1, 4} {
+				cfg := DefaultConfig()
+				cfg.SubstituteKmers = 5
+				cfg.Transport = transport
+				cfg.Blocks = blocks
+				cfg.Threads = threads
+				clean, err := runChaosPipeline(data.Records, 4, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pl := range plans {
+					name := fmt.Sprintf("%s transport=%s blocks=%d threads=%d",
+						pl.name, transport, blocks, threads)
+					faulty := cfg
+					plan := pl.plan
+					faulty.Faults = &plan
+					got, err := runChaosPipeline(data.Records, 4, faulty)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					sameGraph(t, name, got, clean)
+					if billed := got.total - got.retry; billed != clean.total {
+						t.Errorf("%s: TotalBytes-RetryBytes = %d, want clean %d (retry %d)",
+							name, billed, clean.total, got.retry)
+					}
+					fs := got.fstats
+					injected += fs.Drops + fs.Corrupts + fs.Delays + fs.P2PDrops
+				}
+			}
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults were injected across the whole matrix (weak test)")
+	}
+}
+
+// TestCheckpointResume: a run killed by an injected rank crash must leave a
+// resumable per-rank checkpoint set, and the resumed run must reproduce the
+// uninterrupted similarity graph bitwise while skipping completed waves.
+func TestCheckpointResume(t *testing.T) {
+	data := familyDataset(t, 5, 83)
+	cfg := DefaultConfig()
+	cfg.SubstituteKmers = 5
+	cfg.Blocks = 4
+	ref, err := runChaosPipeline(data.Records, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := crashLeavingCheckpoints(t, data.Records, cfg)
+
+	resumed := cfg
+	resumed.CheckpointDir = dir
+	resumed.Resume = true
+	got, err := runChaosPipeline(data.Records, 4, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, "resumed", got, ref)
+	// A successful run must clear its checkpoints: stale wave files are only
+	// meaningful at the split they were written for.
+	left, err := filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("successful resume left %d checkpoint files: %v", len(left), left)
+	}
+}
+
+// Resume with an incompatible config must be refused, not silently blended
+// into a wrong graph: the checkpoint fingerprint pins every PSG-relevant
+// parameter.
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	data := familyDataset(t, 5, 97)
+	cfg := DefaultConfig()
+	cfg.SubstituteKmers = 5
+	cfg.Blocks = 4
+	dir := crashLeavingCheckpoints(t, data.Records, cfg)
+	// A different k changes the graph: the fingerprint must not match, so the
+	// resume falls back to a clean start — and still produce the right
+	// answer for the new config.
+	other := DefaultConfig()
+	other.K = cfg.K + 1
+	other.SubstituteKmers = 5
+	other.Blocks = 4
+	other.CheckpointDir = dir
+	other.Resume = true
+	got, err := runChaosPipeline(data.Records, 4, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := runChaosPipeline(data.Records, 4, func() Config {
+		c := DefaultConfig()
+		c.K = cfg.K + 1
+		c.SubstituteKmers = 5
+		c.Blocks = 4
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, "mismatched-resume", got, ref)
+}
+
+// TestMemBudgetDegrades: when a wave sweep exceeds the per-rank memory
+// budget the pipeline must not abort — it retries the whole sweep at a
+// doubled wave count until it fits, and the degraded run's similarity graph
+// and Stats stay bitwise identical. An impossible budget must fail with
+// ErrMemBudget once the ladder is exhausted.
+func TestMemBudgetDegrades(t *testing.T) {
+	// Large families so the candidate matrix B dominates memory (the regime
+	// where the budget check inside the multiply sees the true peak).
+	data := wavyDataset(t)
+	cfg := DefaultConfig()
+	cfg.CommonKmerThreshold = 1
+	cfg.Blocks = 1
+	clean, err := runChaosPipeline(data.Records, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.blocks != 1 {
+		t.Fatalf("unbudgeted run degraded: EffectiveBlocks = %d", clean.blocks)
+	}
+
+	// The budget probe samples live+transient bytes at SUMMA stage
+	// boundaries, which sit below the run-wide PeakBytes; scan downward from
+	// the peak until a budget actually trips the ladder. The simulator is
+	// deterministic, so the scan is too.
+	peak := pipelinePeak(t, data.Records, cfg)
+	var got chaosRun
+	degraded := false
+	for _, frac := range []float64{0.875, 0.75, 0.625, 0.5, 0.375} {
+		budgeted := cfg
+		budgeted.MemBudget = int64(float64(peak) * frac)
+		r, err := runChaosPipeline(data.Records, 4, budgeted)
+		if errors.Is(err, dmat.ErrMemBudget) {
+			break // ladder exhausted: lower budgets only fail harder
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.blocks > 1 {
+			got, degraded = r, true
+			t.Logf("budget %d (%.0f%% of peak %d) degraded to %d waves",
+				budgeted.MemBudget, frac*100, peak, r.blocks)
+			break
+		}
+	}
+	if !degraded {
+		t.Fatalf("no budget below peak %d triggered degradation", peak)
+	}
+	sameGraph(t, fmt.Sprintf("degraded to %d waves", got.blocks), got, clean)
+
+	impossible := cfg
+	impossible.MemBudget = 4096 // smaller than any operand block
+	_, err = runChaosPipeline(data.Records, 4, impossible)
+	if !errors.Is(err, dmat.ErrMemBudget) {
+		t.Fatalf("impossible budget: error %v does not wrap ErrMemBudget", err)
+	}
+}
+
+// wavyDataset is TestWaveMemoryBounded's shape: few, large families, so the
+// candidate matrix dominates the per-rank footprint.
+func wavyDataset(t *testing.T) *synth.Labeled {
+	t.Helper()
+	data, err := synth.Generate(synth.Config{
+		Seed: 59, NumFamilies: 2, MembersMean: 45, Singletons: 8,
+		MinLen: 120, MaxLen: 250, Divergence: 0.12, IndelRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// pipelinePeak measures the per-rank PeakBytes of a clean run.
+func pipelinePeak(t *testing.T, recs []fasta.Record, cfg Config) int64 {
+	t.Helper()
+	cl := mpi.NewCluster(4, mpi.DefaultCostModel())
+	err := cl.Run(func(c *mpi.Comm) error {
+		n := len(recs)
+		lo, hi := n*c.Rank()/4, n*(c.Rank()+1)/4
+		_, err := Run(c, recs[lo:hi], cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl.PeakBytes()
+}
+
+// Checkpoint files must survive crashes of the writer midway: the write
+// protocol is tmp+rename, so a directory never holds a torn checkpoint.
+func TestCheckpointAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	const fp = uint64(0xfeedbeef)
+	st := checkpointState{Wave: 2, Blocks: 4, NnzB: 10, Edges: []Edge{{R: 1, C: 2}}}
+	if err := writeCheckpoint(dir, fp, 0, 1, st); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".tmp" {
+			t.Errorf("tmp file left behind: %s", f.Name())
+		}
+	}
+	got := newestCheckpoint(dir, fp, 0, 1)
+	if got == nil || got.Wave != 2 || got.Blocks != 4 || len(got.Edges) != 1 {
+		t.Fatalf("round-trip lost state: %+v", got)
+	}
+	// A corrupted checkpoint must be skipped, not crash the resume.
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no checkpoint written (%v)", err)
+	}
+	raw, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(names[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := newestCheckpoint(dir, fp, 0, 1); got != nil {
+		t.Errorf("corrupted checkpoint accepted: %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -36,6 +37,12 @@ const (
 	opsPerSubNeighbor = 120 // heap search amortized per generated neighbor
 	opsPerDPCell      = 4   // vectorized alignment kernel per DP cell
 )
+
+// maxDegradeBlocks caps the graceful-degradation ladder: a sweep that still
+// breaches Config.MemBudget at this split cannot be saved by finer panels
+// (the resident operands, not the panel transients, dominate) and fails with
+// the budget error instead of doubling forever.
+const maxDegradeBlocks = 4096
 
 // Run executes the PASTIS pipeline on this rank's share of the input.
 // owned must be the rank's consecutive run of records from the byte-balanced
@@ -81,6 +88,53 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	}
 	n := store.Total
 
+	// --- resume resolution (collective) ---
+	// Each rank scans CheckpointDir for its newest valid checkpoint of this
+	// exact run, the cluster agrees on min(newest wave) — the deepest wave
+	// every rank completed; keep-2 pruning plus the one-wave collective skew
+	// guarantee each rank still holds a file for that wave — and the sweep
+	// restarts from the next panel at the checkpoint's block split.
+	fp := configFingerprint(cfg, comm.Size(), n)
+	attemptBlocks := blocks
+	startPanel := 0
+	var ck *checkpointState
+	if cfg.Resume {
+		ck = newestCheckpoint(cfg.CheckpointDir, fp, comm.Rank(), comm.Size())
+		local := int64(-1)
+		if ck != nil {
+			local = int64(ck.Wave)
+		}
+		agreed, err := comm.TryAllreduceInt64("min", local)
+		if err != nil {
+			return nil, err
+		}
+		if agreed < 0 {
+			ck = nil // some rank has nothing to resume: full restart
+		} else {
+			if ck.Wave != int(agreed) {
+				ck, err = loadCheckpointWave(cfg.CheckpointDir, fp, comm.Rank(), comm.Size(), int(agreed))
+				if err != nil {
+					return nil, err
+				}
+			}
+			// Every rank must resume the same split; checkpoints are cleared
+			// whenever the split changes, so a mix means a torn directory.
+			bmin, err := comm.TryAllreduceInt64("min", int64(ck.Blocks))
+			if err != nil {
+				return nil, err
+			}
+			bmax, err := comm.TryAllreduceInt64("max", int64(ck.Blocks))
+			if err != nil {
+				return nil, err
+			}
+			if bmin != bmax {
+				return nil, fmt.Errorf("core: checkpoint block splits disagree across ranks (%d vs %d)", bmin, bmax)
+			}
+			attemptBlocks = ck.Blocks
+			startPanel = int(agreed) + 1
+		}
+	}
+
 	// --- form A: |seqs| x |k-mer space|, values = k-mer start positions ---
 	kmerSpace := spmat.Index(kmer.SpaceSize(cfg.K))
 	var a *dmat.Mat[int32]
@@ -91,19 +145,29 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats.NNZA = a.NNZ()
+	if stats.NNZA, err = a.TryNNZ(); err != nil {
+		return nil, err
+	}
 
 	// --- k-mer frequency pre-filter (paper future work) ---
 	if cfg.MaxKmerFrequency > 0 {
-		clock.Section(SectionFormA, func() { a = prefilterA(a, cfg) })
-		stats.NNZAFiltered = a.NNZ()
+		clock.Section(SectionFormA, func() { a, err = prefilterA(a, cfg) })
+		if err != nil {
+			return nil, err
+		}
+		if stats.NNZAFiltered, err = a.TryNNZ(); err != nil {
+			return nil, err
+		}
 	} else {
 		stats.NNZAFiltered = stats.NNZA
 	}
 
 	// --- transpose A ---
 	ops := overlapOperands{a: a}
-	clock.Section(SectionTrA, func() { ops.at = a.Transpose() })
+	clock.Section(SectionTrA, func() { ops.at, err = a.Transpose() })
+	if err != nil {
+		return nil, err
+	}
 
 	gemmOpts := dmat.DefaultSpGEMMOpts()
 	gemmOpts.UseHeapKernel = cfg.UseHeapKernel
@@ -118,16 +182,18 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats.NNZS = s.NNZ()
+		if stats.NNZS, err = s.TryNNZ(); err != nil {
+			return nil, err
+		}
 
 		clock.StartSection(SectionAS)
-		if blocks > 1 {
+		if attemptBlocks > 1 {
 			// Multi-wave runs stream AS through column panels as well: the
 			// full product must stay resident (it is the left operand of
 			// every B panel), but assembling it panel-by-panel keeps only
 			// one panel's SUMMA transients and triple accumulation live at
 			// a time, so AS no longer bounds substitute-path peak memory.
-			ops.as, err = dmat.SpGEMMStreamed(a, s, ASSemiring, PosDistCodec, gemmOpts, blocks)
+			ops.as, err = dmat.SpGEMMStreamed(a, s, ASSemiring, PosDistCodec, gemmOpts, attemptBlocks)
 		} else {
 			ops.as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
 		}
@@ -136,36 +202,101 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		s.Release()
-		stats.NNZAS = ops.as.NNZ()
-		if blocks > 1 {
+		if stats.NNZAS, err = ops.as.TryNNZ(); err != nil {
+			return nil, err
+		}
+		if attemptBlocks > 1 {
 			// (AS)ᵀ feeds the per-panel transpose contribution; building it
 			// is symmetrization work.
-			clock.Section(SectionSym, func() { ops.ast = ops.as.Transpose() })
+			clock.Section(SectionSym, func() { ops.ast, err = ops.as.Transpose() })
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	// --- overlap detection + alignment, streamed as memory-bounded waves ---
-	w := newWave(grid, store, cfg)
-	if err := overlapPanels(ops, cfg, gemmOpts, blocks, w.yield); err != nil {
-		return nil, err
-	}
-	if err := w.drain(); err != nil {
+	// The degradation ladder: a sweep that breaches Config.MemBudget fails
+	// cluster-wide with dmat.ErrMemBudget (the budget check is itself a
+	// collective, so every rank fails the same SUMMA stage together) and
+	// restarts from panel 0 at double the block count — smaller panels,
+	// smaller transients — until it fits or the ladder caps out.
+	sweepOpts := gemmOpts
+	sweepOpts.MemBudget = cfg.MemBudget
+	var w *wave
+	for {
+		w = newWave(grid, store, cfg, attemptBlocks, fp)
+		if ck != nil {
+			w.restore(ck)
+			ck = nil // only the first attempt resumes; retries start over
+		}
+		err := overlapPanels(ops, cfg, sweepOpts, attemptBlocks, startPanel, w.yield)
+		if err == nil {
+			err = w.drain()
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, dmat.ErrMemBudget) && attemptBlocks < maxDegradeBlocks {
+			// Join the in-flight wave (its local work still completes) and
+			// drop the partial sweep: wave indices are meaningless at the new
+			// split, so its checkpoints go too. Everything up to here — the
+			// wasted panels included — stays on the clock; degradation costs
+			// time, never correctness.
+			w.abortDrain()
+			if cfg.CheckpointDir != "" {
+				clearCheckpoints(cfg.CheckpointDir, comm.Rank())
+			}
+			attemptBlocks *= 2
+			startPanel = 0
+			if cfg.SubstituteKmers > 0 && ops.ast == nil {
+				// First degradation out of a single-wave plan: the multi-wave
+				// path needs (AS)ᵀ, which the monolithic sweep never built.
+				clock.Section(SectionSym, func() { ops.ast, err = ops.as.Transpose() })
+				if err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Unrecoverable: finish the in-flight wave's local work so its
+		// checkpoint lands on disk, then surface the original cause.
+		if cfg.CheckpointDir != "" {
+			w.abortDrain()
+		}
 		return nil, err
 	}
 	ops.release()
-	stats.NNZB = comm.AllreduceInt64("sum", w.nnzB)
-	stats.NNZBPruned = comm.AllreduceInt64("sum", w.nnzPruned)
+	if cfg.CheckpointDir != "" {
+		clearCheckpoints(cfg.CheckpointDir, comm.Rank())
+	}
+	if stats.NNZB, err = comm.TryAllreduceInt64("sum", w.nnzB); err != nil {
+		return nil, err
+	}
+	if stats.NNZBPruned, err = comm.TryAllreduceInt64("sum", w.nnzPruned); err != nil {
+		return nil, err
+	}
 	stats.PairsAligned = w.aligned
-	stats.CellsComputed = comm.AllreduceInt64("sum", w.cells)
-	reduceStageStats(comm, cfg, w.stages, &stats)
+	if stats.CellsComputed, err = comm.TryAllreduceInt64("sum", w.cells); err != nil {
+		return nil, err
+	}
+	if err := reduceStageStats(comm, cfg, w.stages, &stats); err != nil {
+		return nil, err
+	}
 
-	res := &Result{Edges: w.edges}
+	res := &Result{Edges: w.edges, EffectiveBlocks: attemptBlocks}
 
 	// --- aggregate counters so every rank reports identical stats ---
 	stats.NumSeqs = int64(n)
-	stats.KmersTotal = comm.AllreduceInt64("sum", stats.KmersTotal)
-	stats.PairsAligned = comm.AllreduceInt64("sum", stats.PairsAligned)
-	stats.EdgesKept = comm.AllreduceInt64("sum", int64(len(res.Edges)))
+	if stats.KmersTotal, err = comm.TryAllreduceInt64("sum", stats.KmersTotal); err != nil {
+		return nil, err
+	}
+	if stats.PairsAligned, err = comm.TryAllreduceInt64("sum", stats.PairsAligned); err != nil {
+		return nil, err
+	}
+	if stats.EdgesKept, err = comm.TryAllreduceInt64("sum", int64(len(res.Edges))); err != nil {
+		return nil, err
+	}
 	res.Stats = stats
 	return res, nil
 }
@@ -175,17 +306,17 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 // kernels and AlignNone). The stage template — names and count — is derived
 // from cfg alone so every rank issues the same Allreduce sequence even when
 // some ranks aligned no pairs at all (their local tallies are empty).
-func reduceStageStats(comm *mpi.Comm, cfg Config, local []align.StageStats, stats *Stats) {
+func reduceStageStats(comm *mpi.Comm, cfg Config, local []align.StageStats, stats *Stats) error {
 	if cfg.Align == AlignNone {
-		return
+		return nil
 	}
 	factory, err := align.KernelFactory(string(cfg.Align))
 	if err != nil {
-		return // unreachable after validate; stage stats are best-effort
+		return nil // unreachable after validate; stage stats are best-effort
 	}
 	staged, ok := factory().(align.StagedKernel)
 	if !ok {
-		return
+		return nil
 	}
 	template := staged.StageStats() // fresh instance: zero counters, names set
 	stats.PairsPerStage = make([]StagePairs, len(template))
@@ -195,15 +326,20 @@ func reduceStageStats(comm *mpi.Comm, cfg Config, local []align.StageStats, stat
 		if i < len(local) {
 			examined, passed, cells = local[i].Examined, local[i].Passed, local[i].Cells
 		}
-		sp := StagePairs{
-			Name:     st.Name,
-			Examined: comm.AllreduceInt64("sum", examined),
-			Passed:   comm.AllreduceInt64("sum", passed),
+		sp := StagePairs{Name: st.Name}
+		if sp.Examined, err = comm.TryAllreduceInt64("sum", examined); err != nil {
+			return err
+		}
+		if sp.Passed, err = comm.TryAllreduceInt64("sum", passed); err != nil {
+			return err
 		}
 		sp.Rejected = sp.Examined - sp.Passed
 		stats.PairsPerStage[i] = sp
-		stats.CellsPerStage[i] = comm.AllreduceInt64("sum", cells)
+		if stats.CellsPerStage[i], err = comm.TryAllreduceInt64("sum", cells); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func validate(cfg Config) error {
@@ -218,6 +354,12 @@ func validate(cfg Config) error {
 	}
 	if cfg.Blocks < 0 {
 		return fmt.Errorf("core: negative block count")
+	}
+	if cfg.MemBudget < 0 {
+		return fmt.Errorf("core: negative memory budget")
+	}
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return fmt.Errorf("core: Config.Resume requires Config.CheckpointDir")
 	}
 	if cfg.MinIdentity < 0 || cfg.MinIdentity > 1 || cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
 		return fmt.Errorf("core: identity/coverage thresholds must be fractions")
@@ -237,7 +379,8 @@ func validate(cfg Config) error {
 
 // GatherEdges collects every rank's edges on rank 0 (nil elsewhere).
 // Collective; used for output writing and the relevance evaluation.
-func GatherEdges(comm *mpi.Comm, edges []Edge) []Edge {
+func GatherEdges(comm *mpi.Comm, edges []Edge) ([]Edge, error) {
+	const edgeRec = 56
 	var buf []byte
 	for _, e := range edges {
 		buf = appendU64b(buf, uint64(e.R))
@@ -248,12 +391,19 @@ func GatherEdges(comm *mpi.Comm, edges []Edge) []Edge {
 		buf = appendF64(buf, e.NS)
 		buf = appendU64b(buf, uint64(int64(e.Score)))
 	}
-	parts := comm.Gatherv(0, buf)
+	parts, err := comm.TryGatherv(0, buf)
+	if err != nil {
+		return nil, err
+	}
 	if parts == nil {
-		return nil
+		return nil, nil
 	}
 	var out []Edge
-	for _, part := range parts {
+	for r, part := range parts {
+		if len(part)%edgeRec != 0 {
+			return nil, fmt.Errorf("core: gathered edge buffer from rank %d is %d bytes, not a multiple of %d",
+				r, len(part), edgeRec)
+		}
 		for len(part) > 0 {
 			e := Edge{
 				R:      spmat.Index(getU64b(part)),
@@ -264,11 +414,11 @@ func GatherEdges(comm *mpi.Comm, edges []Edge) []Edge {
 				NS:     getF64(part[40:]),
 				Score:  int(int64(getU64b(part[48:]))),
 			}
-			part = part[56:]
+			part = part[edgeRec:]
 			out = append(out, e)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func appendU64b(dst []byte, v uint64) []byte {

@@ -28,7 +28,10 @@ func runPipeline(t testing.TB, recs []fasta.Record, p int, cfg Config) ([]Edge, 
 		if err != nil {
 			return err
 		}
-		all := GatherEdges(c, res.Edges)
+		all, err := GatherEdges(c, res.Edges)
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			edges = all
 			stats = res.Stats

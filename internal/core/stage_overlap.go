@@ -36,30 +36,46 @@ func (o *overlapOperands) release() {
 // before merging). Every panel is bit-identical to
 // the corresponding column slice of the monolithic computation.
 //
+// startPanel skips the panels a resumed run already merged from checkpoint
+// (0 for a fresh sweep): the sweep runs panels [startPanel, blocks).
+//
 // Cost shape: each wave re-broadcasts A's block columns (the follow-up
 // paper's memory-for-broadcast trade). The single-wave substitute path
 // keeps the SC20 transpose-based symmetrization, which is cheaper than the
 // dual product when the whole matrix is resident anyway; multi-wave runs
 // compute Bᵀ panels directly as A·(AS)ᵀ because a column panel of Bᵀ is not
 // a slice of B's column panels.
-func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, blocks int,
+func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, blocks, startPanel int,
 	yield func(panel int, colLo, colHi spmat.Index, bp, btp *dmat.Mat[Overlap]) error) error {
 
 	clock := ops.a.Grid.Comm.Clock()
+	if blocks < 1 {
+		blocks = 1
+	}
+	if startPanel >= blocks {
+		return nil // resumed past the final wave: nothing left to compute
+	}
 	if cfg.SubstituteKmers == 0 {
-		// Exact matching: one streaming SUMMA over A·Aᵀ. The section is
-		// closed across yields so pipeline bookkeeping (collecting the
-		// previous wave, launching this one) is not billed as SpGEMM time.
-		clock.StartSection(SectionB)
-		err := dmat.SpGEMMBlocked(ops.a, ops.at, ExactSemiring, OverlapCodec, gemmOpts, blocks,
-			func(panel int, lo, hi spmat.Index, p *dmat.Mat[Overlap]) error {
-				clock.EndSection()
-				err := yield(panel, lo, hi, p, nil)
-				clock.StartSection(SectionB)
-				return err
+		// Exact matching: a streaming SUMMA over A·Aᵀ, one panel per wave.
+		// The section closes across yields so pipeline bookkeeping
+		// (collecting the previous wave, launching this one) is not billed
+		// as SpGEMM time.
+		for k := startPanel; k < blocks; k++ {
+			lo, hi := ops.at.PanelRange(blocks, k)
+			var p *dmat.Mat[Overlap]
+			var err error
+			clock.Section(SectionB, func() {
+				p, err = dmat.SpGEMMPanel(ops.a, ops.at, ExactSemiring, OverlapCodec,
+					gemmOpts, blocks, k)
 			})
-		clock.EndSection()
-		return err
+			if err != nil {
+				return err
+			}
+			if err := yield(k, lo, hi, p, nil); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	if blocks <= 1 {
@@ -76,8 +92,13 @@ func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, bl
 		var sym *dmat.Mat[Overlap]
 		clock.Section(SectionSym, func() {
 			mapped := b.Map(transposeOverlap)
-			bt := mapped.Transpose()
+			var bt *dmat.Mat[Overlap]
+			bt, err = mapped.Transpose()
 			mapped.Release()
+			if err != nil {
+				b.Release()
+				return
+			}
 			sym, err = dmat.EWiseAdd(b, bt, overlapAdd)
 			bt.Release()
 			b.Release()
@@ -98,7 +119,7 @@ func overlapPanels(ops overlapOperands, cfg Config, gemmOpts dmat.SpGEMMOpts, bl
 	if ops.a.EnableStageCache() {
 		defer ops.a.ReleaseStageCache()
 	}
-	for k := 0; k < blocks; k++ {
+	for k := startPanel; k < blocks; k++ {
 		lo, hi := ops.at.PanelRange(blocks, k)
 		var bp, btp *dmat.Mat[Overlap]
 		var err error

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/dmat"
+	"repro/internal/mpi"
 	"repro/internal/spmat"
 )
 
@@ -156,6 +157,34 @@ type Config struct {
 	// two; "codec" exists for differential testing and as the template a
 	// real multi-process backend will follow.
 	Transport string
+
+	// Faults, when non-nil, is the deterministic chaos schedule armed on the
+	// cluster before the run: the transport injects dropped/corrupted/delayed
+	// collectives and one-shot rank crashes per the plan, and the pipeline
+	// retries with seeded exponential backoff. The similarity graph, Stats,
+	// and TotalBytes-excluding-retries are bit-identical to a fault-free run
+	// for any recoverable plan (TestChaosBitIdentical). Arming happens at the
+	// cluster layer (pastis.BuildGraph / test harnesses), not inside Run.
+	Faults *mpi.FaultPlan
+
+	// CheckpointDir, when set, makes each rank write a checkpoint of its
+	// merged wave state after every completed wave (atomic rename, last two
+	// kept). An aborted run leaves a resumable set of per-rank files; see
+	// Resume.
+	CheckpointDir string
+	// Resume restores the newest cluster-consistent checkpoint from
+	// CheckpointDir before the wave sweep and skips the already-completed
+	// waves. The resumed run's similarity graph is bitwise what the
+	// uninterrupted run would have produced.
+	Resume bool
+
+	// MemBudget, when positive, bounds the per-rank live-bytes ledger during
+	// the overlap sweep: a SUMMA stage that would exceed it on any rank fails
+	// cluster-wide and the sweep restarts at doubled Blocks (graceful
+	// degradation: trade re-broadcast volume for peak memory) instead of
+	// aborting. The similarity graph is Blocks-oblivious, so degraded runs
+	// stay bit-identical. Zero disables the budget and its per-stage check.
+	MemBudget int64
 
 	// UseHeapKernel switches the local SpGEMM kernel (ablation).
 	UseHeapKernel bool
@@ -469,6 +498,11 @@ type StagePairs struct {
 type Result struct {
 	Edges []Edge // this rank's share of the similarity graph
 	Stats Stats  // global counters (identical on every rank)
+	// EffectiveBlocks is the wave count the overlap sweep actually ran at:
+	// Config.Blocks unless the memory-budget ladder degraded to a finer
+	// split (or a resumed checkpoint pinned the sweep's split). Deliberately
+	// not part of Stats, which stays bit-identical across Blocks values.
+	EffectiveBlocks int
 }
 
 func appendI32(dst []byte, v int32) []byte {

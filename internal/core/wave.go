@@ -38,34 +38,53 @@ type wave struct {
 	// Local accumulators, reduced once after the drain.
 	nnzB, nnzPruned, aligned, cells int64
 	stages                          []align.StageStats // cascade kernels only
+
+	// Checkpointing (cfg.CheckpointDir != ""): every collected wave
+	// serializes the merged accumulators above, so an aborted run can
+	// restart from the newest wave all ranks completed.
+	blocks      int    // the sweep's panel count (recorded per checkpoint)
+	fingerprint uint64 // configFingerprint of this run
+	started     bool   // first yield seen (sequence exchange drained)
 }
 
 // panelFuture is one in-flight wave.
 type panelFuture struct {
+	panel   int
 	bp, btp *dmat.Mat[Overlap]
 	start   float64 // main-clock time at launch
 	done    chan panelResult
 }
 
-func newWave(g *dmat.Grid, store *seqstore.Store, cfg Config) *wave {
-	return &wave{grid: g, clock: g.Comm.Clock(), store: store, cfg: cfg}
+func newWave(g *dmat.Grid, store *seqstore.Store, cfg Config, blocks int, fingerprint uint64) *wave {
+	return &wave{grid: g, clock: g.Comm.Clock(), store: store, cfg: cfg,
+		blocks: blocks, fingerprint: fingerprint}
+}
+
+// restore seeds the driver with a checkpoint's merged state; the caller
+// then runs the sweep from wave ck.Wave+1.
+func (w *wave) restore(ck *checkpointState) {
+	w.nnzB, w.nnzPruned = ck.NnzB, ck.NnzPruned
+	w.aligned, w.cells = ck.Aligned, ck.Cells
+	w.stages = ck.Stages
+	w.edges = ck.Edges
 }
 
 // yield is the overlapPanels callback: it completes the sequence exchange
 // before the first wave needs sequence data, collects the previous wave,
 // and launches this panel's local work in the background.
 func (w *wave) yield(panel int, colLo, colHi spmat.Index, bp, btp *dmat.Mat[Overlap]) error {
-	if panel == 0 && !w.cfg.BlockingExchange {
+	if !w.started && !w.cfg.BlockingExchange {
 		var err error
 		w.clock.Section(SectionWait, func() { err = w.store.Wait() })
 		if err != nil {
 			return err
 		}
 	}
+	w.started = true
 	if err := w.collect(); err != nil {
 		return err
 	}
-	f := &panelFuture{bp: bp, btp: btp, start: w.clock.Now(), done: make(chan panelResult, 1)}
+	f := &panelFuture{panel: panel, bp: bp, btp: btp, start: w.clock.Now(), done: make(chan panelResult, 1)}
 	w.pending = f
 	go func() { f.done <- processPanel(f.bp, f.btp, w.store, w.cfg) }()
 	return nil
@@ -117,7 +136,31 @@ func (w *wave) collect() error {
 	w.aligned += res.aligned
 	w.cells += res.cells
 	w.stages = align.MergeStageStats(w.stages, res.stages)
+
+	// Persist the merged state. The write is local (no collectives), so it
+	// also succeeds during an abort drain, leaving a resumable file even
+	// when the cluster is already failing.
+	if w.cfg.CheckpointDir != "" {
+		comm := w.grid.Comm
+		return writeCheckpoint(w.cfg.CheckpointDir, w.fingerprint, comm.Rank(), comm.Size(),
+			checkpointState{
+				Wave: f.panel, Blocks: w.blocks,
+				NnzB: w.nnzB, NnzPruned: w.nnzPruned,
+				Aligned: w.aligned, Cells: w.cells,
+				Stages: w.stages, Edges: w.edges,
+			})
+	}
 	return nil
+}
+
+// abortDrain is the failure-path collect: when a collective abort ends the
+// sweep mid-wave, the in-flight panel's work is purely local and can still
+// finish, and collecting it writes the final checkpoint. Errors are
+// swallowed — the run is already failing for the original cause.
+func (w *wave) abortDrain() {
+	if w.pending != nil {
+		_ = w.collect()
+	}
 }
 
 // drain collects the final wave and reconciles the lane with the main

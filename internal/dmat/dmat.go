@@ -8,6 +8,7 @@ package dmat
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,13 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/spmat"
 )
+
+// ErrMemBudget is returned by the SUMMA engine when SpGEMMOpts.MemBudget is
+// set and the cluster-wide live-bytes high-water would exceed it mid-stage.
+// The multiply's ledger charges are rolled back before returning, so callers
+// can retry the whole sweep at a finer panel split (doubled blocks) — the
+// graceful-degradation ladder the wave pipeline implements.
+var ErrMemBudget = errors.New("dmat: memory budget exceeded")
 
 // Backend selects how collectives move matrix blocks between ranks.
 type Backend int
@@ -59,8 +67,13 @@ func NewGrid(c *mpi.Comm) (*Grid, error) {
 		return nil, fmt.Errorf("dmat: communicator size %d is not a perfect square", c.Size())
 	}
 	g := &Grid{Comm: c, Q: q, MyRow: c.Rank() / q, MyCol: c.Rank() % q}
-	g.RowComm = c.Split(g.MyRow, g.MyCol)
-	g.ColComm = c.Split(g.MyCol, g.MyRow)
+	var err error
+	if g.RowComm, err = c.TrySplit(g.MyRow, g.MyCol); err != nil {
+		return nil, err
+	}
+	if g.ColComm, err = c.TrySplit(g.MyCol, g.MyRow); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -269,7 +282,10 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 		for i, t := range ts {
 			buckets[owners[i]] = append(buckets[owners[i]], t)
 		}
-		parts := mpi.AlltoallvShared(g.Comm, buckets, wire)
+		parts, err := mpi.TryAlltoallvShared(g.Comm, buckets, wire)
+		if err != nil {
+			return nil, err
+		}
 		total := 0
 		for _, p := range parts {
 			total += len(p)
@@ -297,7 +313,10 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 			b = codec.Append(b, t.Val)
 			bufs[owners[i]] = b
 		}
-		parts := g.Comm.Alltoallv(bufs)
+		parts, err := g.Comm.TryAlltoallv(bufs)
+		if err != nil {
+			return nil, err
+		}
 		if codec.Width > 0 {
 			total := 0
 			for _, p := range parts {
@@ -305,13 +324,10 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 			}
 			local = make([]spmat.Triple[T], 0, total)
 		}
-		for _, part := range parts {
-			for len(part) > 0 {
-				r := spmat.Index(getU64(part))
-				c := spmat.Index(getU64(part[8:]))
-				v, n := codec.Decode(part[16:])
-				part = part[16+n:]
-				local = append(local, spmat.Triple[T]{Row: r - rowOff, Col: c - colOff, Val: v})
+		for src, part := range parts {
+			var err error
+			if local, err = decodeTriples(part, codec, -rowOff, -colOff, local); err != nil {
+				return nil, fmt.Errorf("dmat: triples from rank %d: %w", src, err)
 			}
 		}
 	}
@@ -327,14 +343,53 @@ func NewFromTriples[T any](g *Grid, rows, cols spmat.Index, ts []spmat.Triple[T]
 	return m, nil
 }
 
+// decodeTriples appends the (row, col, value) records packed in part onto
+// out, shifting indices by (rowShift, colShift). Every record is
+// bounds-checked; malformed input returns a wrapped error naming the byte
+// offset instead of panicking — these buffers cross the transport, so a
+// corrupted or truncated payload must surface as a retryable error.
+func decodeTriples[T any](part []byte, codec Codec[T], rowShift, colShift spmat.Index,
+	out []spmat.Triple[T]) ([]spmat.Triple[T], error) {
+
+	off := 0
+	for off < len(part) {
+		if len(part)-off < 16 {
+			return out, fmt.Errorf("truncated triple indices at offset %d (%d bytes remain)", off, len(part)-off)
+		}
+		r := spmat.Index(getU64(part[off:]))
+		c := spmat.Index(getU64(part[off+8:]))
+		if codec.Width > 0 && len(part)-off-16 < codec.Width {
+			return out, fmt.Errorf("truncated triple value at offset %d (%d bytes remain, width %d)",
+				off+16, len(part)-off-16, codec.Width)
+		}
+		v, n := codec.Decode(part[off+16:])
+		if n <= 0 || len(part)-off-16 < n {
+			return out, fmt.Errorf("triple value decode overran buffer at offset %d", off+16)
+		}
+		off += 16 + n
+		out = append(out, spmat.Triple[T]{Row: r + rowShift, Col: c + colShift, Val: v})
+	}
+	return out, nil
+}
+
 // NNZ returns the global nonzero count (collective).
 func (m *Mat[T]) NNZ() int64 {
-	return m.Grid.Comm.AllreduceInt64("sum", int64(m.Local.NNZ()))
+	n, err := m.TryNNZ()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TryNNZ is the error-returning NNZ: it fails with the abort cause instead
+// of panicking when the cluster aborts mid-reduce.
+func (m *Mat[T]) TryNNZ() (int64, error) {
+	return m.Grid.Comm.TryAllreduceInt64("sum", int64(m.Local.NNZ()))
 }
 
 // GatherTriples collects the full matrix as global-index triples on grid
 // rank 0 (nil elsewhere). Collective; for tests, output and small data.
-func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
+func (m *Mat[T]) GatherTriples() ([]spmat.Triple[T], error) {
 	ts := m.Local.ToTriples()
 	var buf []byte
 	if m.codec.Width > 0 {
@@ -346,9 +401,12 @@ func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
 		buf = appendU64(buf, uint64(t.Col+colOff))
 		buf = m.codec.Append(buf, t.Val)
 	}
-	parts := m.Grid.Comm.Gatherv(0, buf)
+	parts, err := m.Grid.Comm.TryGatherv(0, buf)
+	if err != nil {
+		return nil, err
+	}
 	if parts == nil {
-		return nil
+		return nil, nil
 	}
 	var out []spmat.Triple[T]
 	if rec := 16 + m.codec.Width; m.codec.Width > 0 {
@@ -358,26 +416,53 @@ func (m *Mat[T]) GatherTriples() []spmat.Triple[T] {
 		}
 		out = make([]spmat.Triple[T], 0, total)
 	}
-	for _, part := range parts {
-		for len(part) > 0 {
-			r := spmat.Index(getU64(part))
-			c := spmat.Index(getU64(part[8:]))
-			v, n := m.codec.Decode(part[16:])
-			part = part[16+n:]
-			out = append(out, spmat.Triple[T]{Row: r, Col: c, Val: v})
+	for src, part := range parts {
+		if out, err = decodeTriples(part, m.codec, 0, 0, out); err != nil {
+			return nil, fmt.Errorf("dmat: gathered triples from rank %d: %w", src, err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // BlockWireBytes is the exact byte length encodeBlock produces for a block
-// under a fixed-width codec: a 32-byte header, 8 bytes per nonempty column
-// for JC, 8 per CP entry (ncols+1), 8 per nonzero for IR, and width per
-// value. The shared-memory backend charges the virtual clock with this
-// size instead of encoding, which is what keeps its accounting bit-equal
-// to the codec backend's.
+// under a fixed-width codec: a 32-byte header, an 8-byte checksum frame,
+// 8 bytes per nonempty column for JC, 8 per CP entry (ncols+1), 8 per
+// nonzero for IR, and width per value. The shared-memory backend charges
+// the virtual clock with this size instead of encoding, which is what keeps
+// its accounting bit-equal to the codec backend's.
 func BlockWireBytes[T any](b *spmat.DCSC[T], width int) int64 {
-	return 32 + int64(len(b.JC))*16 + 8 + int64(b.NNZ())*int64(8+width)
+	return blockHeaderLen + int64(len(b.JC))*16 + 8 + int64(b.NNZ())*int64(8+width)
+}
+
+// The block wire format: a 32-byte shape header (NumRows, NumCols, ncols,
+// nnz as LE u64), an 8-byte FNV-style checksum of the shape header and the
+// payload, then the JC/CP/IR arrays as LE u64 and the values under the
+// codec. The checksum is unconditional — it is part of the format, not of
+// the fault injector — so the shared backend's analytic wire size and the
+// codec backend's real payloads stay bit-equal whether or not a fault plan
+// is armed; a future multi-process transport gets corruption detection for
+// free.
+const blockHeaderLen = 40
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// chainChecksum folds b into h eight bytes at a time (FNV-1a over words:
+// an order of magnitude cheaper than byte-wise FNV, and detection strength
+// is ample for transport corruption).
+func chainChecksum(h uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		h = (h ^ getU64(b)) * fnvPrime64
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		h = (h ^ getU64(tail[:])) * fnvPrime64
+	}
+	return h
 }
 
 // encodeBlock serializes a local DCSC for broadcast within SUMMA by writing
@@ -392,14 +477,14 @@ func encodeBlock[T any](b *spmat.DCSC[T], codec Codec[T]) []byte {
 	if width <= 0 {
 		width = 8 // capacity guess only; variable-width values still append
 	}
-	fixed := 32 + ncols*16 + 8 + nnz*8
+	fixed := blockHeaderLen + ncols*16 + 8 + nnz*8
 	buf := make([]byte, fixed, fixed+nnz*width)
 	le := binary.LittleEndian
 	le.PutUint64(buf[0:], uint64(b.NumRows))
 	le.PutUint64(buf[8:], uint64(b.NumCols))
 	le.PutUint64(buf[16:], uint64(ncols))
 	le.PutUint64(buf[24:], uint64(nnz))
-	off := 32
+	off := blockHeaderLen
 	for _, c := range b.JC {
 		le.PutUint64(buf[off:], uint64(c))
 		off += 8
@@ -415,45 +500,78 @@ func encodeBlock[T any](b *spmat.DCSC[T], codec Codec[T]) []byte {
 	for _, v := range b.Vals {
 		buf = codec.Append(buf, v)
 	}
+	sum := chainChecksum(chainChecksum(fnvOffset64, buf[:32]), buf[blockHeaderLen:])
+	le.PutUint64(buf[32:], sum)
 	return buf
 }
 
 func decodeBlock[T any](buf []byte, codec Codec[T]) (*spmat.DCSC[T], error) {
-	if len(buf) < 32 {
-		return nil, fmt.Errorf("dmat: truncated block header")
+	if len(buf) < blockHeaderLen {
+		return nil, fmt.Errorf("dmat: truncated block header: %d bytes, need %d", len(buf), blockHeaderLen)
 	}
 	le := binary.LittleEndian
+	if want, got := le.Uint64(buf[32:]),
+		chainChecksum(chainChecksum(fnvOffset64, buf[:32]), buf[blockHeaderLen:]); want != got {
+		return nil, fmt.Errorf("dmat: block checksum mismatch (stored %#x, computed %#x): corrupt payload", want, got)
+	}
 	m := &spmat.DCSC[T]{
 		NumRows: spmat.Index(le.Uint64(buf)),
 		NumCols: spmat.Index(le.Uint64(buf[8:])),
 	}
-	ncols := int(le.Uint64(buf[16:]))
-	nnz := int(le.Uint64(buf[24:]))
-	buf = buf[32:]
-	if want := (ncols*2 + 1 + nnz) * 8; len(buf) < want {
-		return nil, fmt.Errorf("dmat: block payload %d bytes, need at least %d", len(buf), want)
+	ncols64 := le.Uint64(buf[16:])
+	nnz64 := le.Uint64(buf[24:])
+	body := buf[blockHeaderLen:]
+	// Each column entry costs >= 16 bytes and each nonzero >= 8, so counts
+	// larger than the payload itself are malformed regardless of overflow.
+	if ncols64 > uint64(len(body)) || nnz64 > uint64(len(body)) {
+		return nil, fmt.Errorf("dmat: block header claims %d columns / %d nonzeros in %d payload bytes",
+			ncols64, nnz64, len(body))
+	}
+	ncols := int(ncols64)
+	nnz := int(nnz64)
+	if want := (ncols*2 + 1 + nnz) * 8; len(body) < want {
+		return nil, fmt.Errorf("dmat: block payload %d bytes at offset %d, need at least %d",
+			len(body), blockHeaderLen, want)
 	}
 	off := 0
 	m.JC = make([]spmat.Index, ncols)
 	for i := range m.JC {
-		m.JC[i] = spmat.Index(le.Uint64(buf[off:]))
+		m.JC[i] = spmat.Index(le.Uint64(body[off:]))
 		off += 8
 	}
 	m.CP = make([]int, ncols+1)
 	for i := range m.CP {
-		m.CP[i] = int(le.Uint64(buf[off:]))
+		m.CP[i] = int(le.Uint64(body[off:]))
 		off += 8
+	}
+	if ncols > 0 && (m.CP[0] != 0 || m.CP[ncols] != nnz) {
+		return nil, fmt.Errorf("dmat: block column pointers [%d..%d] inconsistent with %d nonzeros",
+			m.CP[0], m.CP[ncols], nnz)
 	}
 	m.IR = make([]spmat.Index, nnz)
 	for i := range m.IR {
-		m.IR[i] = spmat.Index(le.Uint64(buf[off:]))
+		m.IR[i] = spmat.Index(le.Uint64(body[off:]))
 		off += 8
+	}
+	if codec.Width > 0 && len(body)-off < nnz*codec.Width {
+		return nil, fmt.Errorf("dmat: block values truncated at offset %d: %d bytes for %d nonzeros of width %d",
+			blockHeaderLen+off, len(body)-off, nnz, codec.Width)
 	}
 	m.Vals = make([]T, nnz)
 	for i := range m.Vals {
-		v, n := codec.Decode(buf[off:])
+		if off >= len(body) {
+			return nil, fmt.Errorf("dmat: block values truncated at offset %d: %d of %d decoded",
+				blockHeaderLen+off, i, nnz)
+		}
+		v, n := codec.Decode(body[off:])
 		m.Vals[i] = v
 		off += n
+	}
+	// A block message carries exactly one block; leftover bytes mean the
+	// header undercounted and the payload is not the codec's own encoding.
+	if off != len(body) {
+		return nil, fmt.Errorf("dmat: %d trailing bytes after block payload at offset %d",
+			len(body)-off, blockHeaderLen+off)
 	}
 	return m, nil
 }
@@ -481,13 +599,16 @@ func BcastBlock[T any](g *Grid, comm *mpi.Comm, root int, blk *spmat.DCSC[T], co
 		if comm.Rank() == root {
 			wire = BlockWireBytes(blk, codec.Width)
 		}
-		return mpi.BcastShared(comm, root, blk, wire), nil
+		return mpi.TryBcastShared(comm, root, blk, wire)
 	}
 	var payload []byte
 	if comm.Rank() == root {
 		payload = encodeBlock(blk, codec)
 	}
-	payload = comm.Bcast(root, payload)
+	payload, err := comm.TryBcast(root, payload)
+	if err != nil {
+		return nil, err
+	}
 	if comm.Rank() == root {
 		// The root's resident block is bitwise what every receiver decodes;
 		// re-decoding its own payload would only clone it.
@@ -507,6 +628,13 @@ type SpGEMMOpts struct {
 	// bit-identical for every value; the virtual clock charges flops as
 	// parallel work (Clock.ParOps).
 	Threads int
+	// MemBudget, when positive, bounds the per-rank live-bytes ledger during
+	// the multiply: each SUMMA stage allreduces the cluster maximum and the
+	// whole call fails with ErrMemBudget (charges rolled back) when it is
+	// exceeded, so the caller can retry the sweep at a finer panel split.
+	// Zero disables the check — and its per-stage allreduce, keeping the
+	// unbudgeted hot path's clocks untouched.
+	MemBudget int64
 }
 
 // DefaultSpGEMMOpts charges 8 ops per semiring flop with the hash kernel.
@@ -635,6 +763,23 @@ func spGEMMCols[A, B, C any](a *Mat[A], b *Mat[B], sr spmat.Semiring[A, B, C],
 		}
 		if g.MyRow != s {
 			transient += bBlk.Bytes()
+		}
+		// Budgeted multiplies agree cluster-wide, before materializing the
+		// stage, whether the worst rank's would-be live set still fits; on a
+		// breach every rank rolls back this call's ledger charges and fails
+		// together with ErrMemBudget, leaving the collective sequence aligned
+		// for the caller's retry at a finer panel split.
+		if opts.MemBudget > 0 {
+			would, err := g.Comm.TryAllreduceInt64("max", clock.LiveBytes()+transient)
+			if err != nil {
+				clock.FreeBytes(accumBytes)
+				return nil, err
+			}
+			if would > opts.MemBudget {
+				clock.FreeBytes(accumBytes)
+				return nil, fmt.Errorf("%w: %d live bytes at SUMMA stage %d (budget %d)",
+					ErrMemBudget, would, s, opts.MemBudget)
+			}
 		}
 		clock.AllocBytes(transient)
 
@@ -774,7 +919,7 @@ func clampIndex(x, lo, hi spmat.Index) spmat.Index {
 // mirrored grid position via one all-to-all. Collective. The local
 // transpose is an elementwise pass and parallelizes with the rank's
 // declared threads, matching the SpGEMM/align charging convention.
-func (m *Mat[T]) Transpose() *Mat[T] {
+func (m *Mat[T]) Transpose() (*Mat[T], error) {
 	g := m.Grid
 	clock := g.Comm.Clock()
 	tBlock := m.Local.Transpose()
@@ -790,25 +935,30 @@ func (m *Mat[T]) Transpose() *Mat[T] {
 		wire := make([]int64, g.Comm.Size())
 		vals[partner] = tBlock
 		wire[partner] = BlockWireBytes(tBlock, m.codec.Width)
-		parts := mpi.AlltoallvShared(g.Comm, vals, wire)
+		parts, err := mpi.TryAlltoallvShared(g.Comm, vals, wire)
+		if err != nil {
+			return nil, err
+		}
 		local = parts[partner]
 	} else {
 		bufs := make([][]byte, g.Comm.Size())
 		bufs[partner] = encodeBlock(tBlock, m.codec)
-		parts := g.Comm.Alltoallv(bufs)
+		parts, err := g.Comm.TryAlltoallv(bufs)
+		if err != nil {
+			return nil, err
+		}
 		if partner == g.Comm.Rank() {
 			local = tBlock // diagonal rank: its own transpose comes right back
 		} else {
-			var err error
 			local, err = decodeBlock(parts[partner], m.codec)
 			if err != nil {
-				panic(fmt.Sprintf("dmat: transpose decode: %v", err)) // our own encoding
+				return nil, fmt.Errorf("dmat: transpose decode: %w", err)
 			}
 		}
 	}
 	out := &Mat[T]{Grid: g, Rows: m.Cols, Cols: m.Rows, Local: local, codec: m.codec}
 	clock.AllocBytes(out.LocalBytes())
-	return out
+	return out, nil
 }
 
 // EWiseAdd merges two identically-shaped distributed matrices block-wise.
@@ -833,14 +983,18 @@ func (m *Mat[T]) Symmetrize(add func(T, T) T) (*Mat[T], error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("dmat: Symmetrize on %dx%d", m.Rows, m.Cols)
 	}
-	return EWiseAdd(m, m.Transpose(), add)
+	mt, err := m.Transpose()
+	if err != nil {
+		return nil, err
+	}
+	return EWiseAdd(m, mt, add)
 }
 
 // ColumnCounts returns, for every nonempty global column of this rank's
 // block-column range, the total nonzero count across the whole grid column.
 // A global column is split across the q blocks of one grid column, so one
 // allgather over ColComm suffices. Collective over the grid.
-func (m *Mat[T]) ColumnCounts() map[spmat.Index]int64 {
+func (m *Mat[T]) ColumnCounts() (map[spmat.Index]int64, error) {
 	colOff := m.ColOffset()
 	local := make(map[spmat.Index]int64, m.Local.NonemptyCols())
 	for c, col := range m.Local.JC {
@@ -857,9 +1011,16 @@ func (m *Mat[T]) ColumnCounts() map[spmat.Index]int64 {
 		buf = appendU64(buf, uint64(col))
 		buf = appendU64(buf, uint64(local[col]))
 	}
-	parts := m.Grid.ColComm.Allgather(buf)
+	parts, err := m.Grid.ColComm.TryAllgather(buf)
+	if err != nil {
+		return nil, err
+	}
 	total := make(map[spmat.Index]int64, len(local)*2)
-	for _, part := range parts {
+	for src, part := range parts {
+		if len(part)%16 != 0 {
+			return nil, fmt.Errorf("dmat: column counts from rank %d: %d bytes is not a whole number of records",
+				src, len(part))
+		}
 		for len(part) > 0 {
 			col := spmat.Index(getU64(part))
 			cnt := int64(getU64(part[8:]))
@@ -868,7 +1029,7 @@ func (m *Mat[T]) ColumnCounts() map[spmat.Index]int64 {
 		}
 	}
 	m.Grid.Comm.Clock().Ops(float64(len(total)) * 4)
-	return total
+	return total, nil
 }
 
 func sortIndices(xs []spmat.Index) {

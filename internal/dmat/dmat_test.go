@@ -119,7 +119,10 @@ func TestNewFromTriplesAndGather(t *testing.T) {
 			if nnz := m.NNZ(); nnz != 300 {
 				return fmt.Errorf("NNZ = %d, want 300", nnz)
 			}
-			got := m.GatherTriples()
+			got, err := m.GatherTriples()
+			if err != nil {
+				return err
+			}
 			if g.Comm.Rank() != 0 {
 				if got != nil {
 					return fmt.Errorf("non-root gathered data")
@@ -198,7 +201,10 @@ func TestSpGEMMMatchesSerial(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				got := c.GatherTriples()
+				got, err := c.GatherTriples()
+				if err != nil {
+					return err
+				}
 				if g.Comm.Rank() != 0 {
 					return nil
 				}
@@ -244,11 +250,17 @@ func TestDistributedTranspose(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			tr := m.Transpose()
+			tr, err := m.Transpose()
+			if err != nil {
+				return err
+			}
 			if tr.Rows != 45 || tr.Cols != 33 {
 				return fmt.Errorf("transpose dims %dx%d", tr.Rows, tr.Cols)
 			}
-			got := tr.GatherTriples()
+			got, err := tr.GatherTriples()
+			if err != nil {
+				return err
+			}
 			if g.Comm.Rank() != 0 {
 				return nil
 			}
@@ -283,7 +295,10 @@ func TestSymmetrize(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		got := sym.GatherTriples()
+		got, err := sym.GatherTriples()
+		if err != nil {
+			return err
+		}
 		if g.Comm.Rank() != 0 {
 			return nil
 		}
@@ -312,7 +327,10 @@ func TestPruneGlobalIndices(t *testing.T) {
 		}
 		// Keep strictly-upper-triangular entries (global indices!).
 		up := m.Prune(func(r, c spmat.Index, v float64) bool { return r < c })
-		got := up.GatherTriples()
+		got, err := up.GatherTriples()
+		if err != nil {
+			return err
+		}
 		if g.Comm.Rank() != 0 {
 			return nil
 		}
@@ -338,14 +356,20 @@ func TestProcessCountOblivious(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			b, err := SpGEMM(a, a.Transpose(), spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+			at, err := a.Transpose()
+			if err != nil {
+				return err
+			}
+			b, err := SpGEMM(a, at, spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+			if err != nil {
+				return err
+			}
+			all, err := b.GatherTriples()
 			if err != nil {
 				return err
 			}
 			if g.Comm.Rank() == 0 {
-				gathered = b.GatherTriples()
-			} else {
-				b.GatherTriples()
+				gathered = all
 			}
 			return nil
 		})
@@ -378,7 +402,11 @@ func TestSpGEMMVirtualTimeDeterminism(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			_, err = SpGEMM(a, a.Transpose(), spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
+			at, err := a.Transpose()
+			if err != nil {
+				return err
+			}
+			_, err = SpGEMM(a, at, spmat.Arithmetic, Float64Codec, DefaultSpGEMMOpts())
 			return err
 		})
 		return cl.MaxTime()
@@ -400,7 +428,10 @@ func TestColumnCounts(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			counts := m.ColumnCounts()
+			counts, err := m.ColumnCounts()
+			if err != nil {
+				return err
+			}
 			// Each rank must see the full count for columns in its block range.
 			cLo, cHi := BlockRange(10, g.Q, g.MyCol)
 			want := map[spmat.Index]int64{3: 3, 7: 1, 0: 2}
@@ -428,7 +459,11 @@ func TestMap2GlobalIndices(t *testing.T) {
 		enc := m.Map2(func(r, c spmat.Index, v float64) float64 {
 			return float64(r*100 + c)
 		})
-		for _, tr := range enc.GatherTriples() {
+		encTs, err := enc.GatherTriples()
+		if err != nil {
+			return err
+		}
+		for _, tr := range encTs {
 			if g.Comm.Rank() == 0 {
 				if tr.Val != float64(tr.Row*100+tr.Col) {
 					return fmt.Errorf("Map2 saw wrong indices: %+v", tr)
@@ -597,7 +632,10 @@ func TestSpGEMMStreamedMatchesMonolithic(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			got := c.GatherTriples()
+			got, err := c.GatherTriples()
+			if err != nil {
+				return err
+			}
 			if g.Comm.Rank() == 0 {
 				out.triples = got
 			}

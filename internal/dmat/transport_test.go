@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/mpi"
 	"repro/internal/spmat"
 )
 
@@ -16,26 +17,39 @@ type backendRun struct {
 	triples []spmat.Triple[float64]
 	maxTime float64
 	total   int64
+	retry   int64
 	peak    int64
 }
 
-func runBackend(t *testing.T, p int, backend Backend,
+func runBackend(t *testing.T, p int, backend Backend, plan *mpi.FaultPlan,
 	prog func(g *Grid) ([]spmat.Triple[float64], error)) backendRun {
 	t.Helper()
 	var out backendRun
-	cl := runGrid(t, p, func(g *Grid) error {
+	cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+	if plan != nil {
+		cl.ArmFaults(*plan)
+	}
+	err := cl.Run(func(c *mpi.Comm) error {
+		g, err := NewGrid(c)
+		if err != nil {
+			return err
+		}
 		g.Backend = backend
 		ts, err := prog(g)
 		if err != nil {
 			return err
 		}
-		if g.Comm.Rank() == 0 {
+		if c.Rank() == 0 {
 			out.triples = ts
 		}
 		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out.maxTime = cl.MaxTime()
 	out.total = cl.TotalBytes()
+	out.retry = cl.RetryBytes()
 	out.peak = cl.PeakBytes()
 	return out
 }
@@ -69,16 +83,26 @@ func TestTransportBackendsEquivalent(t *testing.T) {
 					}
 					opts := DefaultSpGEMMOpts()
 					opts.Threads = threads
-					c, err := SpGEMMStreamed(a, b.Transpose(), sr, Float64Codec, opts, blocks)
+					bt, err := b.Transpose()
 					if err != nil {
 						return nil, err
 					}
-					ts := c.GatherTriples()
+					c, err := SpGEMMStreamed(a, bt, sr, Float64Codec, opts, blocks)
+					if err != nil {
+						return nil, err
+					}
+					ts, err := c.GatherTriples()
+					if err != nil {
+						return nil, err
+					}
 					sortTriples(ts)
 					return ts, nil
 				}
-				shared := runBackend(t, p, BackendShared, prog)
-				codec := runBackend(t, p, BackendCodec, prog)
+				shared := runBackend(t, p, BackendShared, nil, prog)
+				codec := runBackend(t, p, BackendCodec, nil, prog)
+				// Third way: a zero fault plan armed on the codec backend must
+				// be a provable identity — same product, same clocks, to the bit.
+				armed := runBackend(t, p, BackendCodec, &mpi.FaultPlan{Seed: 99}, prog)
 				name := fmt.Sprintf("p=%d blocks=%d threads=%d", p, blocks, threads)
 				if !reflect.DeepEqual(shared.triples, codec.triples) {
 					t.Errorf("%s: backends disagree on the product", name)
@@ -91,6 +115,28 @@ func TestTransportBackendsEquivalent(t *testing.T) {
 				}
 				if shared.peak != codec.peak {
 					t.Errorf("%s: PeakBytes %d (shared) vs %d (codec)", name, shared.peak, codec.peak)
+				}
+				if !reflect.DeepEqual(armed.triples, codec.triples) {
+					t.Errorf("%s: zero fault plan changed the product", name)
+				}
+				if armed.maxTime != codec.maxTime || armed.total != codec.total ||
+					armed.peak != codec.peak || armed.retry != 0 {
+					t.Errorf("%s: zero fault plan disturbed the clocks: %+v vs clean {%g %d %d}",
+						name, armed, codec.maxTime, codec.total, codec.peak)
+				}
+				// And under live faults the multiply must still converge to the
+				// same product, with recovery traffic segregated so that
+				// TotalBytes - RetryBytes equals the fault-free bill.
+				if p > 1 {
+					faulty := runBackend(t, p, BackendCodec,
+						&mpi.FaultPlan{Seed: 5, DropProb: 0.1, CorruptProb: 0.05, DelayProb: 0.1}, prog)
+					if !reflect.DeepEqual(faulty.triples, codec.triples) {
+						t.Errorf("%s: faults changed the product", name)
+					}
+					if got := faulty.total - faulty.retry; got != codec.total {
+						t.Errorf("%s: TotalBytes-RetryBytes = %d, want %d (retry %d)",
+							name, got, codec.total, faulty.retry)
+					}
 				}
 			}
 		}
@@ -173,7 +219,11 @@ func TestStageCacheReducesTraffic(t *testing.T) {
 			}
 			var got []spmat.Triple[float64]
 			yield := func(k int, lo, hi spmat.Index, p *Mat[float64]) error {
-				got = append(got, p.GatherTriples()...)
+				ts, err := p.GatherTriples()
+				if err != nil {
+					return err
+				}
+				got = append(got, ts...)
 				return nil
 			}
 			if cached {

@@ -80,7 +80,10 @@ func runPastisModel(recs []fasta.Record, nodes int, cfg core.Config, model mpi.C
 		if err != nil {
 			return err
 		}
-		edges := core.GatherEdges(c, res.Edges)
+		edges, err := core.GatherEdges(c, res.Edges)
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			res.Edges = edges
 			result = res

@@ -65,8 +65,11 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 	if err != nil {
 		return nil, err
 	}
-	m := normalizeColumnsDist(raw)
+	m, err := normalizeColumnsDist(raw)
 	raw.Release()
+	if err != nil {
+		return nil, err
+	}
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		sq, err := dmat.SpGEMM(m, m, spmat.Arithmetic, dmat.Float64Codec, gemmOpts)
@@ -77,13 +80,19 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 		sq.Release()
 		pruned := infl.Prune(func(r, c spmat.Index, v float64) bool { return v >= cfg.PruneBelow })
 		infl.Release()
-		next := normalizeColumnsDist(pruned)
+		next, err := normalizeColumnsDist(pruned)
 		pruned.Release()
+		if err != nil {
+			return nil, err
+		}
 
 		// Convergence: the largest entrywise change across the grid.
 		delta := localDelta(m, next)
 		// Encode the float via its bits to reuse the integer max-reduce.
-		worst := g.Comm.AllreduceInt64("max", int64(math.Float64bits(delta)))
+		worst, err := g.Comm.TryAllreduceInt64("max", int64(math.Float64bits(delta)))
+		if err != nil {
+			return nil, err
+		}
 		// Each iteration retires its predecessor so the live-bytes ledger
 		// tracks one resident matrix, not sixty.
 		m.Release()
@@ -94,7 +103,10 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 	}
 
 	// Gather the stationary support on rank 0 and read off components.
-	triples := m.GatherTriples()
+	triples, err := m.GatherTriples()
+	if err != nil {
+		return nil, err
+	}
 	if g.Comm.Rank() != 0 {
 		return nil, nil
 	}
@@ -111,7 +123,7 @@ func ClusterDistributed(g *dmat.Grid, n int, edges []Edge, cfg Config) ([][]int,
 // normalizeColumnsDist makes the matrix column-stochastic: column sums are
 // reduced along each grid column (a column of the matrix lives entirely
 // within one grid column), then divided locally.
-func normalizeColumnsDist(m *dmat.Mat[float64]) *dmat.Mat[float64] {
+func normalizeColumnsDist(m *dmat.Mat[float64]) (*dmat.Mat[float64], error) {
 	colOff := m.ColOffset()
 	local := map[spmat.Index]float64{}
 	for _, t := range m.Local.ToTriples() {
@@ -128,8 +140,16 @@ func normalizeColumnsDist(m *dmat.Mat[float64]) *dmat.Mat[float64] {
 		buf = appendU64(buf, uint64(col))
 		buf = appendU64(buf, math.Float64bits(local[col]))
 	}
+	parts, err := m.Grid.ColComm.TryAllgather(buf)
+	if err != nil {
+		return nil, err
+	}
 	sums := map[spmat.Index]float64{}
-	for _, part := range m.Grid.ColComm.Allgather(buf) {
+	for r, part := range parts {
+		if len(part)%16 != 0 {
+			return nil, fmt.Errorf("mcl: column-sum buffer from grid-column rank %d is %d bytes, not a multiple of 16",
+				r, len(part))
+		}
 		for len(part) > 0 {
 			col := spmat.Index(getU64(part))
 			sums[col] += math.Float64frombits(getU64(part[8:]))
@@ -138,7 +158,7 @@ func normalizeColumnsDist(m *dmat.Mat[float64]) *dmat.Mat[float64] {
 	}
 	return m.Map2(func(r, c spmat.Index, v float64) float64 {
 		return v / sums[c]
-	})
+	}), nil
 }
 
 // localDelta returns the largest entrywise difference between two

@@ -256,7 +256,10 @@ func Run(comm *mpi.Comm, recs []fasta.Record, cfg Config) ([]core.Edge, Stats, e
 
 	// The serial output stage: gather everything on rank 0 and charge its
 	// clock for processing the full result volume.
-	all := core.GatherEdges(comm, edges)
+	all, err := core.GatherEdges(comm, edges)
+	if err != nil {
+		return nil, stats, err
+	}
 	if comm.Rank() == 0 {
 		clock.Ops(float64(len(all)) * opsPerResult)
 		sort.Slice(all, func(i, j int) bool {

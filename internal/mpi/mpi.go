@@ -23,7 +23,17 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// panicOn turns an abort-path error into the legacy panicking behavior of
+// the non-Try communication methods. Run recovers the typed panic and
+// reports the underlying cause.
+func panicOn(err error) {
+	if err != nil {
+		panic(abortPanic{err})
+	}
+}
 
 // CostModel holds the machine constants of the virtual-time model.
 // Defaults approximate one Cori-class node per rank (the paper runs one MPI
@@ -64,6 +74,7 @@ type Clock struct {
 	messages  int64
 	live      int64 // live allocation bytes currently charged to this rank
 	peak      int64 // high-water mark of live
+	retrySent int64 // bytes re-sent by fault-injected retries (subset of sent)
 	sections  map[string]float64
 	openSect  []openSection
 	opsByName map[string]float64
@@ -170,6 +181,13 @@ func (c *Clock) BytesSent() int64     { return c.sent }
 func (c *Clock) BytesReceived() int64 { return c.received }
 func (c *Clock) Messages() int64      { return c.messages }
 
+// RetryBytes reports the bytes this rank re-sent because a fault-injected
+// collective attempt was dropped or corrupted. Retried bytes are charged to
+// BytesSent like any other traffic (the simulated wire really carried them),
+// so BytesSent - RetryBytes is the fault-free communication volume — the
+// quantity the chaos differential tests hold invariant.
+func (c *Clock) RetryBytes() int64 { return c.retrySent }
+
 // StartSection begins attributing elapsed virtual time to a named pipeline
 // component (sections may nest; each level accumulates independently).
 func (c *Clock) StartSection(name string) {
@@ -258,15 +276,21 @@ func (mb *mailbox) put(m message) {
 	mb.cond.Signal()
 }
 
-func (mb *mailbox) take() message {
+// take blocks until a message is queued or the cluster aborts. aborted is
+// checked inside the wait loop under mb.mu, and Cluster.abort broadcasts the
+// cond under the same lock, so the wakeup cannot be missed.
+func (mb *mailbox) take(aborted func() error) (message, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for len(mb.queue) == 0 {
+		if err := aborted(); err != nil {
+			return message{}, err
+		}
 		mb.cond.Wait()
 	}
 	m := mb.queue[0]
 	mb.queue = mb.queue[1:]
-	return m
+	return m, nil
 }
 
 // router owns every mailbox and the collective rendezvous state.
@@ -294,6 +318,70 @@ type Cluster struct {
 	router     *router
 	clocks     []*Clock
 	nextCommID uint64 // guarded by router.mu; 0 is the world communicator
+	faults     *faultInjector
+	abortErr   atomic.Pointer[abortCause] // first abort cause wins
+}
+
+// abort poisons the cluster with err: every rank blocked in a collective
+// rendezvous or a point-to-point receive wakes and returns err, and every
+// later communication attempt fails fast. The first cause wins; later calls
+// are no-ops. Lock order: the router lock is released before any per-state
+// lock is taken (Split holds a collState lock while taking the router lock,
+// so the reverse order here would deadlock).
+func (cl *Cluster) abort(err error) {
+	if err == nil {
+		err = ErrAborted
+	}
+	if !cl.abortErr.CompareAndSwap(nil, &abortCause{err}) {
+		return
+	}
+	r := cl.router
+	r.mu.Lock()
+	boxes := make([]*mailbox, 0, len(r.boxes))
+	for _, mb := range r.boxes {
+		boxes = append(boxes, mb)
+	}
+	colls := make([]*collState, 0, len(r.collectives))
+	for _, st := range r.collectives {
+		colls = append(colls, st)
+	}
+	r.mu.Unlock()
+	for _, mb := range boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	for _, st := range colls {
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// abortCause boxes the abort error: atomic.Value would demand one
+// consistent concrete error type across all aborts (it panics on a
+// type change mid-CAS), and abort causes come from everywhere —
+// injected crashes, rank errors, SIGINT interrupts.
+type abortCause struct{ err error }
+
+// Aborted returns the abort cause, or nil while the cluster is healthy.
+func (cl *Cluster) Aborted() error {
+	if v := cl.abortErr.Load(); v != nil {
+		return v.err
+	}
+	return nil
+}
+
+// Interrupt aborts the cluster with ErrInterrupted (wrapping cause when
+// non-nil): every blocked rank wakes with an error that unwraps to
+// ErrInterrupted, so drivers can drain local work, checkpoint, and exit
+// cleanly. Safe to call from any goroutine (it is the SIGINT hook).
+func (cl *Cluster) Interrupt(cause error) {
+	err := error(ErrInterrupted)
+	if cause != nil {
+		err = fmt.Errorf("%w: %w", ErrInterrupted, cause)
+	}
+	cl.abort(err)
 }
 
 // NewCluster creates a cluster of p ranks.
@@ -314,8 +402,10 @@ func NewCluster(p int, model CostModel) *Cluster {
 }
 
 // Run executes fn once per rank, each on its own goroutine, and waits for
-// all of them. The first non-nil error is returned (all ranks still run to
-// completion so the cluster is quiescent afterwards).
+// all of them. A rank returning an error (or panicking) aborts the cluster
+// so peers blocked in collectives or receives fail instead of deadlocking;
+// the root cause — the first error that is not itself the abort echo — is
+// returned, and the cluster is quiescent afterwards.
 func (cl *Cluster) Run(fn func(*Comm) error) error {
 	errs := make([]error, cl.size)
 	var wg sync.WaitGroup
@@ -325,7 +415,14 @@ func (cl *Cluster) Run(fn func(*Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					if ap, ok := p.(abortPanic); ok {
+						// A legacy (panicking) communication wrapper hit the
+						// abort: keep the cause, not the panic dressing.
+						errs[rank] = ap.err
+					} else {
+						errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					}
+					cl.abort(errs[rank])
 				}
 			}()
 			c := &Comm{
@@ -336,18 +433,33 @@ func (cl *Cluster) Run(fn func(*Comm) error) error {
 				world:   rank,
 				clock:   cl.clocks[rank],
 				collSeq: new(uint64),
+				sendSeq: new(uint64),
 			}
 			errs[rank] = fn(c)
+			if errs[rank] != nil {
+				cl.abort(errs[rank])
+			}
 		}(r)
 	}
 	wg.Wait()
+	// Prefer the root cause over ranks that merely echo the abort it caused.
+	cause := cl.Aborted()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && err != cause {
 			return err
 		}
 	}
+	if cause != nil {
+		return cause
+	}
 	return nil
 }
+
+// abortPanic carries an abort error through the legacy panicking collective
+// wrappers so Run can surface the cause instead of a generic panic message.
+type abortPanic struct{ err error }
+
+func (p abortPanic) String() string { return p.err.Error() }
 
 // MaxTime returns the virtual makespan: the maximum clock over ranks.
 func (cl *Cluster) MaxTime() float64 {
@@ -419,6 +531,7 @@ type Comm struct {
 	world   int // world rank of this process
 	clock   *Clock
 	collSeq *uint64 // per-rank sequence number of collective calls on this comm
+	sendSeq *uint64 // per-rank sequence number of point-to-point sends on this comm
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -436,48 +549,81 @@ func (c *Comm) Clock() *Clock { return c.clock }
 // Send transmits data to rank dst with the given tag (eager, buffered:
 // it never blocks). The sender is charged the latency overhead.
 func (c *Comm) Send(dst, tag int, data []byte) {
+	panicOn(c.sendE(dst, tag, data, 0))
+}
+
+// sendE is the error-returning send behind Send and TrySend. extraLatency
+// models in-flight delay injected by a fault plan: it is added to the
+// message's arrival time without charging the sender.
+func (c *Comm) sendE(dst, tag int, data []byte, extraLatency float64) error {
 	if dst < 0 || dst >= c.size {
-		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, c.size))
+		return fmt.Errorf("mpi: send to rank %d of %d", dst, c.size)
+	}
+	if err := c.cluster.Aborted(); err != nil {
+		return err
 	}
 	m := c.cluster.model
 	c.clock.Advance(m.Alpha)
 	c.clock.sent += int64(len(data))
 	c.clock.messages++
-	arrival := c.clock.now + m.Alpha + float64(len(data))*m.Beta
+	arrival := c.clock.now + m.Alpha + float64(len(data))*m.Beta + extraLatency
 	c.cluster.router.box(mailKey{comm: c.id, src: c.rank, dst: dst, tag: tag}).
 		put(message{data: data, arrival: arrival})
+	return nil
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. The receiver's clock advances to at least the
 // message arrival time.
 func (c *Comm) Recv(src, tag int) []byte {
+	data, err := c.recvE(src, tag)
+	panicOn(err)
+	return data
+}
+
+// recvE is the error-returning receive behind Recv and TryRecv: it fails
+// instead of blocking forever when the cluster aborts.
+func (c *Comm) recvE(src, tag int) ([]byte, error) {
 	if src < 0 || src >= c.size {
-		panic(fmt.Sprintf("mpi: recv from rank %d of %d", src, c.size))
+		return nil, fmt.Errorf("mpi: recv from rank %d of %d", src, c.size)
 	}
-	msg := c.cluster.router.box(mailKey{comm: c.id, src: src, dst: c.rank, tag: tag}).take()
+	msg, err := c.cluster.router.box(mailKey{comm: c.id, src: src, dst: c.rank, tag: tag}).
+		take(c.cluster.Aborted)
+	if err != nil {
+		return nil, err
+	}
 	if msg.arrival > c.clock.now {
 		c.clock.now = msg.arrival
 	}
 	c.clock.received += int64(len(msg.data))
-	return msg.data
+	return msg.data, nil
 }
 
 // Request is a pending nonblocking operation.
 type Request struct {
-	wait func() []byte
+	wait func() ([]byte, error)
 	data []byte
+	err  error
 	done bool
 }
 
 // Wait completes the operation and returns the received payload
-// (nil for sends).
+// (nil for sends). Panics if the cluster aborted; use TryWait to observe
+// the error instead.
 func (r *Request) Wait() []byte {
+	data, err := r.TryWait()
+	panicOn(err)
+	return data
+}
+
+// TryWait completes the operation, returning the received payload (nil for
+// sends) or the abort error that ended the wait.
+func (r *Request) TryWait() ([]byte, error) {
 	if !r.done {
-		r.data = r.wait()
+		r.data, r.err = r.wait()
 		r.done = true
 	}
-	return r.data
+	return r.data, r.err
 }
 
 // Isend starts a nonblocking send. With the eager protocol the data is
@@ -487,12 +633,21 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	return &Request{done: true}
 }
 
+// TryIsend is Isend through the fault decorator: dropped attempts are
+// re-sent with backoff (TrySend) before the request completes.
+func (c *Comm) TryIsend(dst, tag int, data []byte) (*Request, error) {
+	if err := c.TrySend(dst, tag, data); err != nil {
+		return nil, err
+	}
+	return &Request{done: true}, nil
+}
+
 // Irecv starts a nonblocking receive. The matching message is claimed at
 // Wait time; because mailboxes are keyed by (src, tag) and FIFO per key,
 // this matches MPI ordering semantics for a single outstanding
 // receive per key.
 func (c *Comm) Irecv(src, tag int) *Request {
-	return &Request{wait: func() []byte { return c.Recv(src, tag) }}
+	return &Request{wait: func() ([]byte, error) { return c.recvE(src, tag) }}
 }
 
 // Waitall completes every request and returns their payloads in order.
@@ -552,16 +707,19 @@ func (cl *Cluster) collDone(key collKey) {
 
 // rendezvous deposits this rank's contribution, blocks until all ranks of
 // the communicator arrive, and returns the shared state (valid until the
-// last rank returns; the last rank out removes the state).
-func (c *Comm) rendezvous(data []byte, extra int64) *collState {
+// last rank returns; the last rank out removes the state). Fails with the
+// abort cause instead of blocking forever when the cluster aborts.
+func (c *Comm) rendezvous(data []byte, extra int64) (*collState, error) {
 	return c.rendezvousVal(data, extra, nil)
 }
 
 // rendezvousVal is rendezvous with an additional in-memory value deposited
 // by reference (the shared-transport fast path). The state — including the
 // deposited values — becomes read-only once every rank has arrived, so
-// reading sibling slots after the barrier is race-free.
-func (c *Comm) rendezvousVal(data []byte, extra int64, val any) *collState {
+// reading sibling slots after the barrier is race-free. Once every rank has
+// arrived the collective completes even if an abort races in, so completed
+// collectives stay consistent across ranks.
+func (c *Comm) rendezvousVal(data []byte, extra int64, val any) (*collState, error) {
 	*c.collSeq++
 	key := collKey{comm: c.id, seq: *c.collSeq}
 	st := c.cluster.coll(key, c.size)
@@ -577,6 +735,10 @@ func (c *Comm) rendezvousVal(data []byte, extra int64, val any) *collState {
 		st.cond.Broadcast()
 	}
 	for !st.ready {
+		if err := c.cluster.Aborted(); err != nil {
+			st.mu.Unlock()
+			return nil, err
+		}
 		st.cond.Wait()
 	}
 	st.released++
@@ -585,7 +747,7 @@ func (c *Comm) rendezvousVal(data []byte, extra int64, val any) *collState {
 	if last {
 		c.cluster.collDone(key)
 	}
-	return st
+	return st, nil
 }
 
 func maxOf(xs []float64) float64 {
@@ -607,20 +769,37 @@ func log2Ceil(p int) float64 {
 
 // Barrier synchronizes all ranks; its cost is a latency tree.
 func (c *Comm) Barrier() {
-	st := c.rendezvous(nil, 0)
+	panicOn(c.barrierE())
+}
+
+func (c *Comm) barrierE() error {
+	st, err := c.rendezvous(nil, 0)
+	if err != nil {
+		return err
+	}
 	t := maxOf(st.clocks) + log2Ceil(c.size)*c.cluster.model.Alpha
 	if t > c.clock.now {
 		c.clock.now = t
 	}
+	return nil
 }
 
 // Bcast distributes root's buffer to every rank (binomial tree cost).
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	out, err := c.bcastE(root, data)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) bcastE(root int, data []byte) ([]byte, error) {
 	var mine []byte
 	if c.rank == root {
 		mine = data
 	}
-	st := c.rendezvous(mine, 0)
+	st, err := c.rendezvous(mine, 0)
+	if err != nil {
+		return nil, err
+	}
 	out := st.data[root]
 	m := c.cluster.model
 	n := float64(len(out))
@@ -633,13 +812,22 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	} else {
 		c.clock.sent += int64(len(out)) * int64(c.size-1)
 	}
-	return out
+	return out, nil
 }
 
 // Allgather collects each rank's buffer on every rank
 // (recursive-doubling cost).
 func (c *Comm) Allgather(data []byte) [][]byte {
-	st := c.rendezvous(data, 0)
+	out, err := c.allgatherE(data)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) allgatherE(data []byte) ([][]byte, error) {
+	st, err := c.rendezvous(data, 0)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]byte, c.size)
 	total := 0
 	for i, d := range st.data {
@@ -654,17 +842,26 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	}
 	c.clock.sent += int64(len(data)) * int64(c.size-1)
 	c.clock.received += int64(total - len(data))
-	return out
+	return out, nil
 }
 
 // Alltoallv sends bufs[j] to rank j and returns what every rank sent to the
 // caller. Cost: pairwise exchanges charged by per-rank volume.
 func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
+	out, err := c.alltoallvE(bufs)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) alltoallvE(bufs [][]byte) ([][]byte, error) {
 	if len(bufs) != c.size {
-		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers on comm of size %d", len(bufs), c.size))
+		return nil, fmt.Errorf("mpi: Alltoallv with %d buffers on comm of size %d", len(bufs), c.size)
 	}
 	flat := flatten(bufs)
-	st := c.rendezvous(flat, 0)
+	st, err := c.rendezvous(flat, 0)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]byte, c.size)
 	var sent, recv int64
 	for j, d := range bufs {
@@ -673,7 +870,10 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 		}
 	}
 	for i := range out {
-		parts := unflatten(st.data[i], c.size)
+		parts, err := unflatten(st.data[i], c.size)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: Alltoallv payload from rank %d: %w", i, err)
+		}
 		out[i] = parts[c.rank]
 		if i != c.rank {
 			recv += int64(len(out[i]))
@@ -687,13 +887,22 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	c.clock.sent += sent
 	c.clock.received += recv
 	c.clock.messages += int64(c.size - 1)
-	return out
+	return out, nil
 }
 
 // AllreduceInt64 combines one int64 per rank with op ("sum", "max", "min")
 // and returns the result on every rank.
 func (c *Comm) AllreduceInt64(op string, v int64) int64 {
-	st := c.rendezvous(nil, v)
+	out, err := c.allreduceInt64E(op, v)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) allreduceInt64E(op string, v int64) (int64, error) {
+	st, err := c.rendezvous(nil, v)
+	if err != nil {
+		return 0, err
+	}
 	out := st.extra[0]
 	for _, x := range st.extra[1:] {
 		switch op {
@@ -708,7 +917,7 @@ func (c *Comm) AllreduceInt64(op string, v int64) int64 {
 				out = x
 			}
 		default:
-			panic("mpi: unknown reduce op " + op)
+			return 0, fmt.Errorf("mpi: unknown reduce op %q", op)
 		}
 	}
 	m := c.cluster.model
@@ -716,13 +925,22 @@ func (c *Comm) AllreduceInt64(op string, v int64) int64 {
 	if t > c.clock.now {
 		c.clock.now = t
 	}
-	return out
+	return out, nil
 }
 
 // ExscanInt64 returns the exclusive prefix sum of v by rank order
 // (rank 0 receives 0), the primitive behind the distributed sequence index.
 func (c *Comm) ExscanInt64(v int64) int64 {
-	st := c.rendezvous(nil, v)
+	out, err := c.exscanInt64E(v)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) exscanInt64E(v int64) (int64, error) {
+	st, err := c.rendezvous(nil, v)
+	if err != nil {
+		return 0, err
+	}
 	var sum int64
 	for r := 0; r < c.rank; r++ {
 		sum += st.extra[r]
@@ -732,12 +950,21 @@ func (c *Comm) ExscanInt64(v int64) int64 {
 	if t > c.clock.now {
 		c.clock.now = t
 	}
-	return sum
+	return sum, nil
 }
 
 // Gatherv collects every rank's buffer at root (others receive nil).
 func (c *Comm) Gatherv(root int, data []byte) [][]byte {
-	st := c.rendezvous(data, 0)
+	out, err := c.gathervE(root, data)
+	panicOn(err)
+	return out
+}
+
+func (c *Comm) gathervE(root int, data []byte) ([][]byte, error) {
+	st, err := c.rendezvous(data, 0)
+	if err != nil {
+		return nil, err
+	}
 	m := c.cluster.model
 	total := 0
 	for _, d := range st.data {
@@ -754,21 +981,32 @@ func (c *Comm) Gatherv(root int, data []byte) [][]byte {
 		c.clock.now = t
 	}
 	if c.rank != root {
-		return nil
+		return nil, nil
 	}
 	out := make([][]byte, c.size)
 	copy(out, st.data)
-	return out
+	return out, nil
 }
 
 // Split partitions the communicator by color; ranks within each new
 // communicator are ordered by (key, old rank), as in MPI_Comm_split.
 func (c *Comm) Split(color, key int) *Comm {
+	out, err := c.TrySplit(color, key)
+	panicOn(err)
+	return out
+}
+
+// TrySplit is the error-returning Split: it fails instead of blocking when
+// the cluster aborts mid-rendezvous.
+func (c *Comm) TrySplit(color, key int) (*Comm, error) {
 	payload := make([]byte, 24)
 	putU64(payload[0:], uint64(int64(color)))
 	putU64(payload[8:], uint64(int64(key)))
 	putU64(payload[16:], uint64(int64(c.world)))
-	st := c.rendezvous(payload, 0)
+	st, err := c.rendezvous(payload, 0)
+	if err != nil {
+		return nil, err
+	}
 
 	type member struct{ color, key, oldRank, world int }
 	members := make([]member, c.size)
@@ -831,7 +1069,8 @@ func (c *Comm) Split(color, key int) *Comm {
 		world:   c.world,
 		clock:   c.clock,
 		collSeq: new(uint64),
-	}
+		sendSeq: new(uint64),
+	}, nil
 }
 
 func flatten(bufs [][]byte) []byte {
@@ -849,16 +1088,22 @@ func flatten(bufs [][]byte) []byte {
 	return out
 }
 
-func unflatten(flat []byte, n int) [][]byte {
+func unflatten(flat []byte, n int) ([][]byte, error) {
 	out := make([][]byte, n)
 	off := 0
 	for i := 0; i < n; i++ {
+		if off+8 > len(flat) {
+			return nil, fmt.Errorf("truncated length header for part %d at offset %d (have %d bytes)", i, off, len(flat))
+		}
 		l := int(getU64(flat[off:]))
 		off += 8
+		if l < 0 || off+l > len(flat) {
+			return nil, fmt.Errorf("part %d claims %d bytes at offset %d, only %d remain", i, l, off, len(flat)-off)
+		}
 		out[i] = flat[off : off+l : off+l]
 		off += l
 	}
-	return out
+	return out, nil
 }
 
 func putU64(b []byte, v uint64) {

@@ -17,6 +17,12 @@
 // value's lifetime because here there is only one copy. dmat enforces this
 // for matrix blocks (receivers treat broadcast blocks as read-only);
 // ad-hoc callers must do the same.
+//
+// Each collective comes in three forms, mirroring the byte API: the legacy
+// panicking form (BcastShared), the error-returning form that fails cleanly
+// on cluster abort (bcastSharedE), and the fault-decorated form
+// (TryBcastShared) that additionally retries injected drop/corrupt faults
+// with deterministic backoff when a fault plan is armed.
 package mpi
 
 // BcastShared hands root's value v to every rank of the communicator by
@@ -27,13 +33,34 @@ package mpi
 // the zero value. The returned value aliases root's v on every rank: it
 // must be treated as immutable by all parties.
 func BcastShared[T any](c *Comm, root int, v T, wireBytes int64) T {
+	out, err := bcastSharedE(c, root, v, wireBytes)
+	panicOn(err)
+	return out
+}
+
+// TryBcastShared is BcastShared through the fault decorator: with a fault
+// plan armed, dropped or corrupted attempts re-broadcast with backoff, the
+// re-sent wire bytes charged to the retry ledger.
+func TryBcastShared[T any](c *Comm, root int, v T, wireBytes int64) (out T, err error) {
+	err = c.withFaults(func() error {
+		out, err = bcastSharedE(c, root, v, wireBytes)
+		return err
+	})
+	return out, err
+}
+
+func bcastSharedE[T any](c *Comm, root int, v T, wireBytes int64) (T, error) {
 	var deposit any
 	var wire int64
 	if c.rank == root {
 		deposit = v
 		wire = wireBytes
 	}
-	st := c.rendezvousVal(nil, wire, deposit)
+	st, err := c.rendezvousVal(nil, wire, deposit)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
 	out := st.vals[root].(T)
 	n := st.extra[root]
 	m := c.cluster.model
@@ -46,7 +73,7 @@ func BcastShared[T any](c *Comm, root int, v T, wireBytes int64) T {
 	} else {
 		c.clock.sent += n * int64(c.size-1)
 	}
-	return out
+	return out, nil
 }
 
 // AlltoallvShared sends vals[j] to rank j by reference and returns what
@@ -56,14 +83,32 @@ func BcastShared[T any](c *Comm, root int, v T, wireBytes int64) T {
 // length; unused slots carry the zero value and 0. Received values alias
 // the sender's — immutable by contract.
 func AlltoallvShared[T any](c *Comm, vals []T, wire []int64) []T {
+	out, err := alltoallvSharedE(c, vals, wire)
+	panicOn(err)
+	return out
+}
+
+// TryAlltoallvShared is AlltoallvShared through the fault decorator.
+func TryAlltoallvShared[T any](c *Comm, vals []T, wire []int64) (out []T, err error) {
+	err = c.withFaults(func() error {
+		out, err = alltoallvSharedE(c, vals, wire)
+		return err
+	})
+	return out, err
+}
+
+func alltoallvSharedE[T any](c *Comm, vals []T, wire []int64) ([]T, error) {
 	if len(vals) != c.size || len(wire) != c.size {
-		panic("mpi: AlltoallvShared with mismatched buffer count")
+		return nil, errMismatchedBuffers(c.size, len(vals))
 	}
 	type deposit struct {
 		vals []T
 		wire []int64
 	}
-	st := c.rendezvousVal(nil, 0, deposit{vals: vals, wire: wire})
+	st, err := c.rendezvousVal(nil, 0, deposit{vals: vals, wire: wire})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]T, c.size)
 	var sent, recv int64
 	for j, w := range wire {
@@ -86,7 +131,7 @@ func AlltoallvShared[T any](c *Comm, vals []T, wire []int64) []T {
 	c.clock.sent += sent
 	c.clock.received += recv
 	c.clock.messages += int64(c.size - 1)
-	return out
+	return out, nil
 }
 
 // GathervShared collects every rank's value at root by reference (other
@@ -94,7 +139,25 @@ func AlltoallvShared[T any](c *Comm, vals []T, wire []int64) []T {
 // payloads of wireBytes bytes. Received values alias the senders' —
 // immutable by contract.
 func GathervShared[T any](c *Comm, root int, v T, wireBytes int64) []T {
-	st := c.rendezvousVal(nil, wireBytes, v)
+	out, err := gathervSharedE(c, root, v, wireBytes)
+	panicOn(err)
+	return out
+}
+
+// TryGathervShared is GathervShared through the fault decorator.
+func TryGathervShared[T any](c *Comm, root int, v T, wireBytes int64) (out []T, err error) {
+	err = c.withFaults(func() error {
+		out, err = gathervSharedE(c, root, v, wireBytes)
+		return err
+	})
+	return out, err
+}
+
+func gathervSharedE[T any](c *Comm, root int, v T, wireBytes int64) ([]T, error) {
+	st, err := c.rendezvousVal(nil, wireBytes, v)
+	if err != nil {
+		return nil, err
+	}
 	m := c.cluster.model
 	var total int64
 	for _, w := range st.extra {
@@ -111,11 +174,11 @@ func GathervShared[T any](c *Comm, root int, v T, wireBytes int64) []T {
 		c.clock.now = t
 	}
 	if c.rank != root {
-		return nil
+		return nil, nil
 	}
 	out := make([]T, c.size)
 	for i := range out {
 		out[i] = st.vals[i].(T)
 	}
-	return out
+	return out, nil
 }

@@ -83,17 +83,29 @@ func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
 	// Global indexing via prefix sum of owned counts (paper Section V-A:
 	// "a parallel prefix sum of sequence counts").
 	myCount := int64(len(recs))
-	myStart := comm.ExscanInt64(myCount)
-	total := comm.AllreduceInt64("sum", myCount)
+	myStart, err := comm.TryExscanInt64(myCount)
+	if err != nil {
+		return nil, err
+	}
+	total, err := comm.TryAllreduceInt64("sum", myCount)
+	if err != nil {
+		return nil, err
+	}
 	if total == 0 {
 		return nil, fmt.Errorf("seqstore: empty dataset")
 	}
 
 	// Everyone learns all owned ranges (counts are 8 bytes per rank).
-	counts := comm.Allgather(encodeI64(myCount))
+	counts, err := comm.TryAllgather(encodeI64(myCount))
+	if err != nil {
+		return nil, err
+	}
 	own := ownership{start: make([]spmat.Index, comm.Size()), total: spmat.Index(total)}
 	var acc int64
 	for r, buf := range counts {
+		if len(buf) != 8 {
+			return nil, fmt.Errorf("seqstore: count from rank %d is %d bytes, want 8", r, len(buf))
+		}
 		own.start[r] = spmat.Index(acc)
 		acc += decodeI64(buf)
 	}
@@ -127,10 +139,14 @@ func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
 		rLo, rHi := dmat.BlockRange(st.Total, g.Q, dRow)
 		cLo, cHi := dmat.BlockRange(st.Total, g.Q, dCol)
 		if lo, hi := intersect(myLo, myHi, rLo, rHi); lo < hi {
-			comm.Isend(d, tagRow, st.encodeRange(lo, hi))
+			if _, err := comm.TryIsend(d, tagRow, st.encodeRange(lo, hi)); err != nil {
+				return nil, err
+			}
 		}
 		if lo, hi := intersect(myLo, myHi, cLo, cHi); lo < hi {
-			comm.Isend(d, tagCol, st.encodeRange(lo, hi))
+			if _, err := comm.TryIsend(d, tagCol, st.encodeRange(lo, hi)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Receives: one message per owner rank overlapping my needed ranges.
@@ -157,7 +173,11 @@ func (st *Store) Wait() error {
 	st.waited = true
 	for i, req := range st.pendingRecv {
 		meta := st.recvMeta[i]
-		seqs, err := decodeSeqs(req.Wait())
+		payload, err := req.TryWait()
+		if err != nil {
+			return err
+		}
+		seqs, err := decodeSeqs(payload)
 		if err != nil {
 			return err
 		}
@@ -233,18 +253,30 @@ func decodeSeqs(buf []byte) ([]Sequence, error) {
 	}
 	n := int(getU64(buf))
 	buf = buf[8:]
+	if n < 0 || n > len(buf)/16+1 {
+		return nil, fmt.Errorf("seqstore: implausible record count %d for %d payload bytes", n, len(buf))
+	}
 	out := make([]Sequence, 0, n)
 	for i := 0; i < n; i++ {
 		if len(buf) < 16 {
-			return nil, fmt.Errorf("seqstore: truncated sequence header")
+			return nil, fmt.Errorf("seqstore: truncated sequence header (record %d)", i)
 		}
 		g := spmat.Index(getU64(buf))
 		nameLen := int(getU64(buf[8:]))
 		buf = buf[16:]
+		if nameLen < 0 || nameLen > len(buf) {
+			return nil, fmt.Errorf("seqstore: name of %d bytes overruns record %d", nameLen, i)
+		}
 		name := string(buf[:nameLen])
 		buf = buf[nameLen:]
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("seqstore: truncated sequence length (record %d)", i)
+		}
 		seqLen := int(getU64(buf))
 		buf = buf[8:]
+		if seqLen < 0 || seqLen > len(buf) {
+			return nil, fmt.Errorf("seqstore: sequence of %d codes overruns record %d", seqLen, i)
+		}
 		codes := make([]alphabet.Code, seqLen)
 		for j := 0; j < seqLen; j++ {
 			codes[j] = alphabet.Code(buf[j])

@@ -59,6 +59,7 @@
 package pastis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -154,7 +155,24 @@ type Result struct {
 	// PeakBytes is the largest per-rank high-water mark of live matrix
 	// bytes: the memory-vs-Blocks tradeoff measure of the wave pipeline.
 	PeakBytes int64
+	// RetryBytes is the share of BytesOnWire re-sent recovering from
+	// injected transport faults (zero on a fault-free run). BytesOnWire
+	// minus RetryBytes equals the fault-free run's volume bit-for-bit.
+	RetryBytes int64
+	// EffectiveBlocks is the wave count the overlap sweep actually ran at:
+	// Config.Blocks unless memory-budget degradation doubled it (or a
+	// resumed checkpoint pinned it).
+	EffectiveBlocks int
 }
+
+// Fault-tolerance re-exports: FaultPlan schedules deterministic transport
+// faults (Config.Faults); ErrInterrupted tags runs ended by Interrupt /
+// context cancellation so callers can map them to a clean exit.
+type FaultPlan = mpi.FaultPlan
+
+// ErrInterrupted wraps every error produced by cancelling a run (SIGINT via
+// BuildGraphContext); test with errors.Is.
+var ErrInterrupted = mpi.ErrInterrupted
 
 // BuildGraph runs the full PASTIS pipeline on a simulated cluster of the
 // given node count (must be a perfect square, the paper's p = q² grid
@@ -168,6 +186,15 @@ func BuildGraph(records []Record, nodes int, cfg Config) (*Result, error) {
 
 // BuildGraphWithModel is BuildGraph with custom virtual-time constants.
 func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostModel) (*Result, error) {
+	return BuildGraphContext(context.Background(), records, nodes, cfg, model)
+}
+
+// BuildGraphContext is BuildGraphWithModel with cooperative cancellation:
+// when ctx is cancelled the cluster aborts at the next collective boundary,
+// in-flight wave work drains (writing its checkpoint if Config.CheckpointDir
+// is set), and the run fails with an error wrapping ErrInterrupted. A run
+// checkpointed this way resumes with Config.Resume.
+func BuildGraphContext(ctx context.Context, records []Record, nodes int, cfg Config, model CostModel) (*Result, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("pastis: empty input")
 	}
@@ -178,6 +205,20 @@ func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostMode
 
 	out := &Result{Nodes: nodes}
 	cl := mpi.NewCluster(nodes, model)
+	if cfg.Faults != nil {
+		cl.ArmFaults(*cfg.Faults)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-ctx.Done():
+				cl.Interrupt(context.Cause(ctx))
+			case <-finished:
+			}
+		}()
+	}
 	err := cl.Run(func(c *mpi.Comm) error {
 		chunk := chunks[c.Rank()]
 		owned, err := fasta.ParseChunk(data, chunk.Begin, chunk.End)
@@ -188,10 +229,14 @@ func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostMode
 		if err != nil {
 			return err
 		}
-		edges := core.GatherEdges(c, res.Edges)
+		edges, err := core.GatherEdges(c, res.Edges)
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			out.Edges = edges
 			out.Stats = res.Stats
+			out.EffectiveBlocks = res.EffectiveBlocks
 		}
 		return nil
 	})
@@ -203,6 +248,7 @@ func BuildGraphWithModel(records []Record, nodes int, cfg Config, model CostMode
 	out.Sections = cl.SectionMax()
 	out.BytesOnWire = cl.TotalBytes()
 	out.PeakBytes = cl.PeakBytes()
+	out.RetryBytes = cl.RetryBytes()
 	return out, nil
 }
 

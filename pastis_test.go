@@ -2,6 +2,8 @@ package pastis
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -164,5 +166,59 @@ func TestFASTAHelpers(t *testing.T) {
 			!bytes.Equal(back[i].Seq, data.Records[i].Seq) {
 			t.Fatalf("record %d mismatch", i)
 		}
+	}
+}
+
+// Context cancellation must interrupt the cluster: every rank unblocks and
+// BuildGraphContext returns an error wrapping ErrInterrupted (the SIGINT
+// path of cmd/pastis).
+func TestBuildGraphContextInterrupt(t *testing.T) {
+	data, err := GenerateScopeLike(4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort at its first collective
+	_, err = BuildGraphContext(ctx, data.Records, 4, DefaultConfig(), DefaultCostModel())
+	if err == nil {
+		t.Fatal("cancelled context did not interrupt the run")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("error %v does not wrap ErrInterrupted", err)
+	}
+}
+
+// The public fault-injection surface: a chaos plan in Config must leave the
+// graph and the fault-free communication bill untouched, with recovery
+// traffic reported separately in Result.RetryBytes.
+func TestBuildGraphWithFaults(t *testing.T) {
+	data, err := GenerateScopeLike(4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	clean, err := BuildGraph(data.Records, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &FaultPlan{Seed: 17, DropProb: 0.1, CorruptProb: 0.05, DelayProb: 0.1}
+	faulty, err := BuildGraph(data.Records, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty.Edges) != len(clean.Edges) {
+		t.Fatalf("faults changed the graph: %d vs %d edges", len(faulty.Edges), len(clean.Edges))
+	}
+	for i := range clean.Edges {
+		if faulty.Edges[i] != clean.Edges[i] {
+			t.Fatalf("edge %d differs under faults", i)
+		}
+	}
+	if faulty.RetryBytes <= 0 {
+		t.Error("no retry traffic recorded despite an active fault plan")
+	}
+	if got := faulty.BytesOnWire - faulty.RetryBytes; got != clean.BytesOnWire {
+		t.Errorf("BytesOnWire-RetryBytes = %d, want clean %d (retry %d)",
+			got, clean.BytesOnWire, faulty.RetryBytes)
 	}
 }

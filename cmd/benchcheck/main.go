@@ -10,6 +10,11 @@
 //	benchcheck BENCH_spgemm.json BENCH_kernels.json BENCH_pipeline.json
 //	benchcheck -min 1.0 BENCH_*.json   # additionally gate on speedups
 //	benchcheck -regress 0.05 -baseline BENCH_pipeline.json fresh.json
+//	benchcheck -min 5 -min-entry query/cached-vs-cold=50 BENCH_query.json
+//
+// -min-entry (repeatable) raises the floor for one named pair above the
+// blanket -min; a named entry that never appears in any report fails the
+// run, so a renamed or dropped benchmark cannot silently skip its gate.
 //
 // -regress holds a freshly generated report to a committed baseline: for
 // every entry name paired in the baseline, the fresh report's before/after
@@ -29,14 +34,44 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
+
+// minEntries maps entry names to their individual speedup floors,
+// collected from repeated -min-entry name=ratio flags.
+type minEntries map[string]float64
+
+func (m minEntries) String() string {
+	parts := make([]string, 0, len(m))
+	for name, ratio := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, ratio))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m minEntries) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ratio, got %q", s)
+	}
+	ratio, err := strconv.ParseFloat(val, 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	m[name] = ratio
+	return nil
+}
 
 func main() {
 	minRatio := flag.Float64("min", 0, "minimum before/after speedup for every paired entry (0 = report only)")
 	regress := flag.Float64("regress", 0, "maximum fractional speedup erosion vs -baseline (e.g. 0.05 = 5%; 0 = off)")
 	baseline := flag.String("baseline", "", "committed baseline report for -regress")
+	perEntry := minEntries{}
+	flag.Var(perEntry, "min-entry", "name=ratio: per-entry speedup floor, repeatable; the entry must exist")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no report files given")
@@ -63,6 +98,7 @@ func main() {
 	}
 
 	failed := false
+	seenEntry := map[string]bool{}
 	for _, path := range flag.Args() {
 		r, err := bench.ReadFile(path)
 		if err != nil {
@@ -80,9 +116,14 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
+			seenEntry[name] = true
+			floor := *minRatio
+			if f, ok := perEntry[name]; ok && f > floor {
+				floor = f
+			}
 			verdict := ""
-			if *minRatio > 0 && sp[name] < *minRatio {
-				verdict = fmt.Sprintf("  REGRESSION (below %.2fx)", *minRatio)
+			if floor > 0 && sp[name] < floor {
+				verdict = fmt.Sprintf("  REGRESSION (below %.2fx)", floor)
 				failed = true
 			}
 			fmt.Printf("  %-32s %.2fx%s\n", name, sp[name], verdict)
@@ -108,6 +149,17 @@ func main() {
 					fmt.Printf("  %-32s %.2fx vs baseline %.2fx  ok\n", name, got, base[name])
 				}
 			}
+		}
+	}
+	gated := make([]string, 0, len(perEntry))
+	for name := range perEntry {
+		gated = append(gated, name)
+	}
+	sort.Strings(gated)
+	for _, name := range gated {
+		if !seenEntry[name] {
+			fmt.Fprintf(os.Stderr, "benchcheck: -min-entry %s: no report carries that paired entry\n", name)
+			failed = true
 		}
 	}
 	if failed {

@@ -39,7 +39,7 @@ func main() {
 		scaleFl   = flag.String("scale", "small", "dataset scale: tiny, small or full")
 		csvDir    = flag.String("csv", "", "directory for CSV output (optional)")
 		wallclock = flag.Bool("wallclock", false, "run the wall-clock benchmark layer instead of the experiments")
-		suiteFl   = flag.String("suite", "all", "with -wallclock: one suite (spgemm, kernels, pipeline, comm) or 'all'")
+		suiteFl   = flag.String("suite", "all", "with -wallclock: one suite (spgemm, kernels, pipeline, comm, query) or 'all'")
 		jsonDir   = flag.String("json", ".", "directory for BENCH_*.json output (with -wallclock)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
@@ -131,6 +131,7 @@ func runWallclock(scale, suite, dir string) {
 		{"kernels", bench.Kernels},
 		{"pipeline", bench.Pipeline},
 		{"comm", bench.Comm},
+		{"query", bench.Query},
 	}
 	suites := all[:0]
 	for _, s := range all {
@@ -139,7 +140,7 @@ func runWallclock(scale, suite, dir string) {
 		}
 	}
 	if len(suites) == 0 {
-		fatal(fmt.Errorf("unknown -suite %q (want spgemm, kernels, pipeline, comm or all)", suite))
+		fatal(fmt.Errorf("unknown -suite %q (want spgemm, kernels, pipeline, comm, query or all)", suite))
 	}
 	for _, s := range suites {
 		start := time.Now()

@@ -18,6 +18,15 @@
 //
 // The output is a tab-separated edge list: the names of the two sequences,
 // the edge weight, identity, coverage, normalized score and raw score.
+//
+// Two subcommands split the pipeline for serving:
+//
+//	pastis build-index -in db.fa -index idxdir -nodes 16 -subs 25
+//	pastis query -index idxdir -in queries.fa -out hits.tsv
+//
+// build-index persists the target-side matrices once; query answers any
+// number of batches against them, bit-identical to what the all-vs-all run
+// would report for those pairs.
 package main
 
 import (
@@ -37,6 +46,168 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build-index":
+			runBuildIndex(os.Args[2:])
+			return
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		}
+	}
+	allVsAll()
+}
+
+// runBuildIndex persists the build-once half of the pipeline for dir.
+func runBuildIndex(args []string) {
+	fs := flag.NewFlagSet("pastis build-index", flag.ExitOnError)
+	var (
+		inPath  = fs.String("in", "", "database FASTA file (required)")
+		dir     = fs.String("index", "", "directory to write the index into (required)")
+		nodes   = fs.Int("nodes", 16, "simulated node count (perfect square); queries must use the same")
+		k       = fs.Int("k", 6, "k-mer length")
+		subs    = fs.Int("subs", 0, "substitute k-mers per k-mer (0 = exact matching)")
+		maxFreq = fs.Int("maxfreq", 0, "discard k-mers occurring more than this many times (0 = off)")
+		threads = fs.Int("threads", 1, "intra-rank threads (0 = all host cores)")
+		blocks  = fs.Int("blocks", 1, "column panels for the substitute expansion (bounds peak memory)")
+		transp  = fs.String("transport", "shared", "block transport: shared or codec")
+		stats   = fs.Bool("stats", false, "print build statistics to stderr")
+	)
+	fs.Parse(args)
+	if *inPath == "" || *dir == "" {
+		fmt.Fprintln(os.Stderr, "pastis build-index: -in and -index are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	recs := readFASTA(*inPath)
+
+	cfg := pastis.DefaultConfig()
+	cfg.K = *k
+	cfg.SubstituteKmers = *subs
+	cfg.MaxKmerFrequency = *maxFreq
+	cfg.Threads = parallel.Resolve(*threads)
+	cfg.Blocks = *blocks
+	cfg.Transport = *transp
+
+	info, err := pastis.BuildIndex(recs, *nodes, cfg, *dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pastis: indexed %d sequences into %s (%d bytes across %d ranks)\n",
+		info.Sequences, info.Dir, info.Bytes, info.Nodes)
+	if *stats {
+		s := info.Stats
+		fmt.Fprintf(os.Stderr, "k-mers:         %d\n", s.KmersTotal)
+		fmt.Fprintf(os.Stderr, "nnz(A):         %d\n", s.NNZA)
+		fmt.Fprintf(os.Stderr, "nnz(S):         %d\n", s.NNZS)
+		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", info.Time, info.Nodes)
+	}
+}
+
+// runQuery serves one query batch from a persisted index.
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("pastis query", flag.ExitOnError)
+	var (
+		dir     = fs.String("index", "", "index directory written by build-index (required)")
+		inPath  = fs.String("in", "", "query FASTA file (required)")
+		outPath = fs.String("out", "-", "output hit list ('-' = stdout)")
+		alignFl = fs.String("align", "xd",
+			"alignment kernel: "+strings.Join(pastis.Kernels(), "|")+
+				", a cascade spec (e.g. ug:60+sw), or none")
+		weight  = fs.String("weight", "ani", "edge weight: ani or ns")
+		ck      = fs.Int("ck", 0, "common k-mer threshold (0 = off)")
+		minID   = fs.Float64("min-identity", 0.30, "ANI filter: minimum identity")
+		minCov  = fs.Float64("min-coverage", 0.70, "ANI filter: minimum shorter-sequence coverage")
+		xdrop   = fs.Int("xdrop", 49, "x-drop value for seed extension")
+		threads = fs.Int("threads", 1, "intra-rank threads (0 = all host cores)")
+		batch   = fs.Int("batch", 0, "alignment batch size (0 = default)")
+		blocks  = fs.Int("blocks", 1, "candidate-panel waves (bounds peak memory)")
+		transp  = fs.String("transport", "shared", "block transport: shared or codec")
+		stats   = fs.Bool("stats", false, "print batch statistics to stderr")
+	)
+	fs.Parse(args)
+	if *inPath == "" || *dir == "" {
+		fmt.Fprintln(os.Stderr, "pastis query: -index and -in are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	queries := readFASTA(*inPath)
+
+	eng, err := pastis.OpenIndex(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	// k, subs and maxfreq are build-time parameters; adopt them from the
+	// index manifest instead of asking the caller to repeat them.
+	cfg := eng.Configure(pastis.DefaultConfig())
+	cfg.CommonKmerThreshold = *ck
+	cfg.MinIdentity = *minID
+	cfg.MinCoverage = *minCov
+	cfg.XDropValue = *xdrop
+	cfg.Threads = parallel.Resolve(*threads)
+	cfg.BatchSize = *batch
+	cfg.Blocks = *blocks
+	cfg.Transport = *transp
+	cfg.Align = pastis.AlignMode(*alignFl)
+	switch *weight {
+	case "ani":
+		cfg.Weight = pastis.WeightANI
+	case "ns":
+		cfg.Weight = pastis.WeightNS
+	default:
+		fatal(fmt.Errorf("unknown -weight %q", *weight))
+	}
+
+	res, err := eng.Query(queries, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *outPath != "-" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+	}
+	w := bufio.NewWriter(out)
+	fmt.Fprintln(w, "#query\ttarget\tweight\tidentity\tcoverage\tns\tscore")
+	for _, h := range res.Hits {
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+			h.QueryID, h.TargetID, h.Weight, h.Ident, h.Cov, h.NS, h.Score)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "queries:        %d (%d cached, %d computed)\n",
+			len(queries), res.CacheHits, res.CacheMisses)
+		fmt.Fprintf(os.Stderr, "database:       %d sequences on %d nodes\n", eng.Sequences(), eng.Nodes())
+		fmt.Fprintf(os.Stderr, "nnz(B):         %d (pruned: %d)\n", s.NNZB, s.NNZBPruned)
+		fmt.Fprintf(os.Stderr, "pairs aligned:  %d\n", s.PairsAligned)
+		fmt.Fprintf(os.Stderr, "hits:           %d\n", len(res.Hits))
+		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s\n", res.Time)
+	}
+}
+
+func readFASTA(path string) []pastis.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := pastis.ReadFASTA(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	return recs
+}
+
+func allVsAll() {
 	var (
 		inPath  = flag.String("in", "", "input FASTA file (required)")
 		outPath = flag.String("out", "-", "output edge list ('-' = stdout)")

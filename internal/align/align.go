@@ -74,6 +74,14 @@ func (r Result) CoverageShorter(lenA, lenB int) float64 {
 	if lenB < lenA {
 		short = lenB
 		span = r.EndB - r.BeginB
+	} else if lenB == lenA {
+		// Equal lengths: take the larger span so the value does not depend
+		// on which sequence was passed as A (the query path aligns pairs in
+		// the opposite orientation from the all-vs-all path and must agree
+		// bit-for-bit).
+		if sb := r.EndB - r.BeginB; sb > span {
+			span = sb
+		}
 	}
 	if short == 0 {
 		return 0

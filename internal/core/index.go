@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dmat"
+	"repro/internal/fasta"
+	"repro/internal/index"
+	"repro/internal/kmer"
+	"repro/internal/mpi"
+	"repro/internal/scoring"
+	"repro/internal/seqstore"
+	"repro/internal/spmat"
+	"repro/internal/subkmer"
+)
+
+// Persistent-index section names. Each rank's artifact carries its block of
+// Aᵀ (the operand every query multiply consumes), its block of (AS)ᵀ when
+// the substitute path is enabled, its owned sequence partition, the
+// substitute-neighbor table it enumerated at build time, and the k-mers its
+// block-column range banned under the frequency pre-filter.
+const (
+	secAT  = "at"
+	secAST = "ast"
+	secSeq = "seq"
+	secNbr = "nbr"
+	secBan = "ban"
+)
+
+// Manifest meta keys (shared with the per-rank files where they overlap).
+const (
+	metaTotal   = "total"
+	metaK       = "k"
+	metaSubs    = "subs"
+	metaMaxFreq = "maxfreq"
+)
+
+// IndexFingerprint hashes the parameters that shape the persisted artifact:
+// the cluster size (which fixes the 2D block decomposition) and the Config
+// fields the A/S matrices depend on. Alignment knobs — kernel, thresholds,
+// gap costs — are deliberately excluded: they act after the matrix stages,
+// so one index serves any of them at query time.
+func IndexFingerprint(cfg Config, p int) uint64 {
+	var buf []byte
+	buf = appendU64b(buf, uint64(p))
+	buf = appendU64b(buf, uint64(cfg.K))
+	buf = appendU64b(buf, uint64(cfg.SubstituteKmers))
+	buf = appendU64b(buf, uint64(cfg.MaxKmerFrequency))
+	return ckptChecksum(buf)
+}
+
+// BuildIndex runs the build-once half of the pipeline — sequence exchange,
+// A formation, frequency pre-filter, substitute expansion — and persists
+// this rank's share as an index artifact in dir. Collective; every rank
+// writes its own file (the manifest is the caller's to write, from data it
+// already holds). The returned stats mirror the matrix-stage counters of a
+// full run.
+func BuildIndex(comm *mpi.Comm, owned []fasta.Record, cfg Config, dir string) (*Stats, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	grid, err := dmat.NewGrid(comm)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Transport == "codec" {
+		grid.Backend = dmat.BackendCodec
+	}
+	clock := comm.Clock()
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	clock.SetThreads(threads)
+	defer clock.SetThreads(1)
+	var stats Stats
+
+	store, err := stageInput(grid, owned, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The build has no alignment stage to hide the exchange under; complete
+	// it here so every in-flight message is consumed before the run ends.
+	if !cfg.BlockingExchange {
+		clock.Section(SectionWait, func() { err = store.Wait() })
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats.NumSeqs = int64(store.Total)
+
+	kmerSpace := spmat.Index(kmer.SpaceSize(cfg.K))
+	var a *dmat.Mat[int32]
+	var distinct map[kmer.ID]struct{}
+	clock.StartSection(SectionFormA)
+	a, distinct, err = formA(grid, store, cfg, kmerSpace, &stats)
+	clock.EndSection()
+	if err != nil {
+		return nil, err
+	}
+	if stats.NNZA, err = a.TryNNZ(); err != nil {
+		return nil, err
+	}
+
+	var banned []spmat.Index
+	if cfg.MaxKmerFrequency > 0 {
+		clock.Section(SectionFormA, func() { a, banned, err = prefilterA(a, cfg) })
+		if err != nil {
+			return nil, err
+		}
+		if stats.NNZAFiltered, err = a.TryNNZ(); err != nil {
+			return nil, err
+		}
+	} else {
+		stats.NNZAFiltered = stats.NNZA
+	}
+
+	gemmOpts := dmat.DefaultSpGEMMOpts()
+	gemmOpts.UseHeapKernel = cfg.UseHeapKernel
+	gemmOpts.Threads = threads
+
+	// Substitute path: enumerate the neighbor table once (it is persisted —
+	// queries reuse it instead of re-running the k-mer search), assemble S,
+	// and keep only (AS)ᵀ: the query sweep's dual product needs Aᵀ and
+	// (AS)ᵀ, never AS itself.
+	var table map[kmer.ID][]subkmer.Neighbor
+	var ast *dmat.Mat[PosDist]
+	if cfg.SubstituteKmers > 0 {
+		clock.StartSection(SectionFormS)
+		table, err = formSTable(distinct, cfg)
+		var s *dmat.Mat[int32]
+		if err == nil {
+			s, err = formSFromTable(grid, table, kmerSpace)
+		}
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		if stats.NNZS, err = s.TryNNZ(); err != nil {
+			return nil, err
+		}
+		var as *dmat.Mat[PosDist]
+		clock.StartSection(SectionAS)
+		if blocks := cfg.Blocks; blocks > 1 {
+			as, err = dmat.SpGEMMStreamed(a, s, ASSemiring, PosDistCodec, gemmOpts, blocks)
+		} else {
+			as, err = dmat.SpGEMM(a, s, ASSemiring, PosDistCodec, gemmOpts)
+		}
+		clock.EndSection()
+		if err != nil {
+			return nil, err
+		}
+		s.Release()
+		if stats.NNZAS, err = as.TryNNZ(); err != nil {
+			return nil, err
+		}
+		clock.Section(SectionSym, func() { ast, err = as.Transpose() })
+		as.Release()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var at *dmat.Mat[int32]
+	clock.Section(SectionTrA, func() { at, err = a.Transpose() })
+	a.Release()
+	if err != nil {
+		return nil, err
+	}
+
+	f := &index.File{
+		Fingerprint: IndexFingerprint(cfg, comm.Size()),
+		Rank:        comm.Rank(),
+		Ranks:       comm.Size(),
+		Meta: map[string]uint64{
+			metaTotal:   uint64(store.Total),
+			metaK:       uint64(cfg.K),
+			metaSubs:    uint64(cfg.SubstituteKmers),
+			metaMaxFreq: uint64(cfg.MaxKmerFrequency),
+		},
+		Sections: []index.Section{
+			{Name: secAT, Payload: dmat.EncodeBlock(at.Local, dmat.Int32Codec)},
+			{Name: secSeq, Payload: seqstore.AppendSequences(nil, store.Owned)},
+		},
+	}
+	if ast != nil {
+		f.Sections = append(f.Sections, index.Section{Name: secAST, Payload: dmat.EncodeBlock(ast.Local, PosDistCodec)})
+	}
+	if table != nil {
+		f.Sections = append(f.Sections, index.Section{Name: secNbr, Payload: encodeNeighborTable(table)})
+	}
+	if banned != nil {
+		f.Sections = append(f.Sections, index.Section{Name: secBan, Payload: encodeBanned(banned)})
+	}
+	size, err := index.Save(dir, f)
+	if err != nil {
+		return nil, err
+	}
+	clock.IOBytes(size)
+	at.Release()
+	if ast != nil {
+		ast.Release()
+	}
+
+	if stats.KmersTotal, err = comm.TryAllreduceInt64("sum", stats.KmersTotal); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+// RankData is one rank's decoded index artifact: the grid-independent
+// resident state a warm server keeps in memory between query batches. The
+// blocks and sequences are immutable once loaded — every Query wraps them
+// in fresh per-run matrix views, so one RankData serves any number of runs.
+type RankData struct {
+	Total   spmat.Index // database sequence count
+	Subs    int         // substitute k-mers the index was built with
+	MaxFreq int         // frequency pre-filter the index was built with
+
+	AT     *spmat.DCSC[int32]       // this rank's block of Aᵀ
+	AST    *spmat.DCSC[PosDist]     // this rank's block of (AS)ᵀ; nil when Subs == 0
+	Owned  []seqstore.Sequence      // this rank's owned database partition
+	Banned map[spmat.Index]struct{} // banned k-mers in this rank's column range
+	Bytes  int64                    // on-disk artifact size (cold-load IO charge)
+}
+
+// LoadRankData reads and decodes rank's artifact from dir, verifying the
+// fingerprint against cfg. Plain local disk I/O — no collectives — so a
+// server can load all rank slots before spinning up a cluster. The
+// substitute-neighbor table is seeded straight into the process-wide
+// subkmer cache: query batches hit it instead of re-enumerating.
+func LoadRankData(dir string, rank, ranks int, cfg Config) (*RankData, error) {
+	f, size, err := index.Open(dir, rank, ranks, IndexFingerprint(cfg, ranks))
+	if err != nil {
+		return nil, err
+	}
+	total := spmat.Index(f.Meta[metaTotal])
+	if total <= 0 {
+		return nil, fmt.Errorf("core: index artifact has no sequences")
+	}
+	if int(f.Meta[metaK]) != cfg.K {
+		return nil, fmt.Errorf("core: index built with k=%d, queried with k=%d", f.Meta[metaK], cfg.K)
+	}
+	rd := &RankData{
+		Total:   total,
+		Subs:    int(f.Meta[metaSubs]),
+		MaxFreq: int(f.Meta[metaMaxFreq]),
+		Bytes:   size,
+	}
+
+	atBuf, ok := f.Section(secAT)
+	if !ok {
+		return nil, fmt.Errorf("core: index artifact missing %q section", secAT)
+	}
+	if rd.AT, err = dmat.DecodeBlock(atBuf, dmat.Int32Codec); err != nil {
+		return nil, fmt.Errorf("core: index %s block: %w", secAT, err)
+	}
+	if rd.Subs > 0 {
+		astBuf, ok := f.Section(secAST)
+		if !ok {
+			return nil, fmt.Errorf("core: index artifact missing %q section", secAST)
+		}
+		if rd.AST, err = dmat.DecodeBlock(astBuf, PosDistCodec); err != nil {
+			return nil, fmt.Errorf("core: index %s block: %w", secAST, err)
+		}
+	}
+	seqBuf, ok := f.Section(secSeq)
+	if !ok {
+		return nil, fmt.Errorf("core: index artifact missing %q section", secSeq)
+	}
+	if rd.Owned, err = seqstore.DecodeSequences(seqBuf); err != nil {
+		return nil, err
+	}
+	if nbrBuf, ok := f.Section(secNbr); ok {
+		if err := seedNeighborTable(nbrBuf, cfg.K); err != nil {
+			return nil, err
+		}
+	}
+	if banBuf, ok := f.Section(secBan); ok {
+		if rd.Banned, err = decodeBanned(banBuf); err != nil {
+			return nil, err
+		}
+	}
+	return rd, nil
+}
+
+// encodeNeighborTable serializes the build's substitute enumeration: per
+// root k-mer, its full nearest-neighbor list. Roots are sorted so the
+// encoding is deterministic.
+func encodeNeighborTable(table map[kmer.ID][]subkmer.Neighbor) []byte {
+	roots := make([]kmer.ID, 0, len(table))
+	for id := range table {
+		roots = append(roots, id)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	var buf []byte
+	buf = appendU64b(buf, uint64(len(roots)))
+	for _, root := range roots {
+		nbrs := table[root]
+		buf = appendU64b(buf, uint64(root))
+		buf = appendU64b(buf, uint64(len(nbrs)))
+		for _, nb := range nbrs {
+			buf = appendU64b(buf, uint64(nb.ID))
+			buf = appendU64b(buf, uint64(nb.Dist))
+		}
+	}
+	return buf
+}
+
+// seedNeighborTable decodes an encodeNeighborTable payload and installs
+// every list in the subkmer cache under the scoring matrix the pipeline
+// uses (the enumeration is BLOSUM62-specific, like formSTable's).
+func seedNeighborTable(buf []byte, k int) error {
+	r := &reader{buf: buf}
+	nroots := r.u64()
+	if r.err == nil && nroots > uint64(len(buf)) {
+		return fmt.Errorf("core: implausible neighbor-table root count %d", nroots)
+	}
+	for i := uint64(0); i < nroots && r.err == nil; i++ {
+		root := kmer.ID(r.u64())
+		n := r.u64()
+		if r.err == nil && n > uint64(len(buf)) {
+			return fmt.Errorf("core: implausible neighbor count %d for root %d", n, root)
+		}
+		nbrs := make([]subkmer.Neighbor, 0, n)
+		for j := uint64(0); j < n && r.err == nil; j++ {
+			id := kmer.ID(r.u64())
+			dist := int(r.u64())
+			if r.err == nil {
+				nbrs = append(nbrs, subkmer.Neighbor{ID: id, Dist: dist})
+			}
+		}
+		if r.err == nil {
+			subkmer.Seed(root, k, scoring.BLOSUM62.Name, nbrs)
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("core: neighbor table: %w", r.err)
+	}
+	if r.off != len(buf) {
+		return fmt.Errorf("core: neighbor table has %d trailing bytes", len(buf)-r.off)
+	}
+	return nil
+}
+
+func encodeBanned(banned []spmat.Index) []byte {
+	var buf []byte
+	buf = appendU64b(buf, uint64(len(banned)))
+	for _, id := range banned {
+		buf = appendU64b(buf, uint64(id))
+	}
+	return buf
+}
+
+func decodeBanned(buf []byte) (map[spmat.Index]struct{}, error) {
+	r := &reader{buf: buf}
+	n := r.u64()
+	if r.err == nil && n > uint64(len(buf)) {
+		return nil, fmt.Errorf("core: implausible banned-k-mer count %d", n)
+	}
+	out := make(map[spmat.Index]struct{}, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out[spmat.Index(r.u64())] = struct{}{}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("core: banned k-mers: %w", r.err)
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("core: banned k-mers have %d trailing bytes", len(buf)-r.off)
+	}
+	return out, nil
+}
+
+// reader mirrors the index package's bounds-checked cursor for the
+// core-level section payloads.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf)-r.off < 8 {
+		r.err = fmt.Errorf("truncated at offset %d", r.off)
+		return 0
+	}
+	v := getU64b(r.buf[r.off:])
+	r.off += 8
+	return v
+}

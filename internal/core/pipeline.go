@@ -151,7 +151,7 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 
 	// --- k-mer frequency pre-filter (paper future work) ---
 	if cfg.MaxKmerFrequency > 0 {
-		clock.Section(SectionFormA, func() { a, err = prefilterA(a, cfg) })
+		clock.Section(SectionFormA, func() { a, _, err = prefilterA(a, cfg) })
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,23 @@ const (
 	opsPerVisitNNZ  = dmat.VisitOps
 )
 
+// seqSource resolves a panel nonzero's row and column indices to sequences.
+// The all-vs-all pipeline uses one Store for both sides; the query path
+// pairs a query-batch store (rows) with the resident target store (columns).
+type seqSource interface {
+	RowSeq(g spmat.Index) (seqstore.Sequence, error)
+	ColSeq(g spmat.Index) (seqstore.Sequence, error)
+}
+
+// pairSeqs is the query-mode seqSource: panel rows index the query batch,
+// panel columns index the database.
+type pairSeqs struct {
+	rows, cols *seqstore.Store
+}
+
+func (p pairSeqs) RowSeq(g spmat.Index) (seqstore.Sequence, error) { return p.rows.RowSeq(g) }
+func (p pairSeqs) ColSeq(g spmat.Index) (seqstore.Sequence, error) { return p.cols.ColSeq(g) }
+
 // panelResult is everything one wave's local work produces. err aborts the
 // run; the tallies feed the wave driver's overlap lane and memory ledger.
 type panelResult struct {
@@ -44,7 +61,7 @@ type panelResult struct {
 // Output is deterministic — batch boundaries depend only on the candidate
 // count, and batches merge in order — so the edge list is bit-identical for
 // any thread count and any wave count.
-func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config) panelResult {
+func processPanel(bp, btp *dmat.Mat[Overlap], src seqSource, query bool, cfg Config) panelResult {
 	var res panelResult
 	local := bp.Local
 	if btp != nil {
@@ -75,7 +92,7 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 		return res
 	}
 
-	edges, aligned, cells, stages, err := alignPanel(bp.Grid, pruned, bp.RowOffset(), bp.ColOffset(), store, cfg)
+	edges, aligned, cells, stages, err := alignPanel(bp.Grid, pruned, bp.RowOffset(), bp.ColOffset(), src, query, cfg)
 	res.edges, res.aligned, res.cells, res.stages, res.err = edges, aligned, cells, stages, err
 	res.parOps += float64(cells) * opsPerDPCell
 	return res
@@ -103,7 +120,7 @@ func processPanel(bp, btp *dmat.Mat[Overlap], store *seqstore.Store, cfg Config)
 // worker instance are additionally summed into one per-stage breakdown for
 // the panel (plain integer sums, so the result is thread-count oblivious).
 func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index,
-	store *seqstore.Store, cfg Config) ([]Edge, int64, int64, []align.StageStats, error) {
+	src seqSource, query bool, cfg Config) ([]Edge, int64, int64, []align.StageStats, error) {
 
 	kernelFor, err := align.KernelFactory(string(cfg.Align))
 	if err != nil {
@@ -112,23 +129,28 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 	onOrAboveDiag := g.MyRow <= g.MyCol
 
 	// Ownership filtering is cheap and serial; it yields the candidate list
-	// the batches are cut from.
+	// the batches are cut from. In query mode the panel is rectangular —
+	// query rows against database columns — so every nonzero is a distinct
+	// pair owned by exactly one rank and no triangle or diagonal filtering
+	// applies (row and column indices live in different spaces).
 	var cands []spmat.Triple[Overlap]
 	for _, t := range b.ToTriples() {
 		lr, lc := t.Row, t.Col
 		r, c := rowOff+lr, colOff+lc
-		if r == c {
-			continue // self pair
-		}
-		if cfg.NaiveTriangle {
-			// Strawman assignment: the global upper triangle is handled
-			// only by processes on or above the grid diagonal; the rest
-			// of the grid idles (paper Section V-D).
-			if !onOrAboveDiag || r > c {
-				continue
+		if !query {
+			if r == c {
+				continue // self pair
 			}
-		} else if lr > lc || (lr == lc && !onOrAboveDiag) {
-			continue // the mirrored block owns this pair
+			if cfg.NaiveTriangle {
+				// Strawman assignment: the global upper triangle is handled
+				// only by processes on or above the grid diagonal; the rest
+				// of the grid idles (paper Section V-D).
+				if !onOrAboveDiag || r > c {
+					continue
+				}
+			} else if lr > lc || (lr == lc && !onOrAboveDiag) {
+				continue // the mirrored block owns this pair
+			}
 		}
 		cands = append(cands, t)
 	}
@@ -174,7 +196,7 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 		out := &outs[chunk]
 		startCells := ws.kernel.CellsComputed()
 		for _, t := range cands[lo:hi] {
-			edge, err := alignPair(ws.kernel, params, ws.seeds, t, rowOff, colOff, store, cfg)
+			edge, err := alignPair(ws.kernel, params, ws.seeds, t, rowOff, colOff, src, query, cfg)
 			if err != nil {
 				out.err = err
 				break
@@ -216,14 +238,14 @@ func alignPanel(g *dmat.Grid, b *spmat.DCSC[Overlap], rowOff, colOff spmat.Index
 // seed bound, so appending never allocates).
 func alignPair(k align.Kernel, params align.Params, seedScratch []align.Seed,
 	t spmat.Triple[Overlap], rowOff, colOff spmat.Index,
-	store *seqstore.Store, cfg Config) (edge *Edge, err error) {
+	src seqSource, query bool, cfg Config) (edge *Edge, err error) {
 
 	r, c := rowOff+t.Row, colOff+t.Col
-	seqR, err := store.RowSeq(r)
+	seqR, err := src.RowSeq(r)
 	if err != nil {
 		return nil, err
 	}
-	seqC, err := store.ColSeq(c)
+	seqC, err := src.ColSeq(c)
 	if err != nil {
 		return nil, err
 	}
@@ -231,9 +253,10 @@ func alignPair(k align.Kernel, params align.Params, seedScratch []align.Seed,
 	// blocks see the pair transposed, and alignment tie-breaking is not
 	// guaranteed orientation-symmetric on degenerate ties, so this keeps
 	// the PSG bit-identical across process counts (the paper's
-	// reproducibility property).
+	// reproducibility property). Query pairs have no mirror block — each
+	// (query, target) pair exists once — so they always align query-first.
 	aCodes, bCodes := seqR.Codes, seqC.Codes
-	swapped := r > c
+	swapped := !query && r > c
 	if swapped {
 		aCodes, bCodes = bCodes, aCodes
 	}
@@ -274,7 +297,7 @@ func alignPair(k align.Kernel, params align.Params, seedScratch []align.Seed,
 		weight = ns
 	}
 	lo, hi := r, c
-	if lo > hi {
+	if !query && lo > hi {
 		lo, hi = hi, lo
 	}
 	return &Edge{

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/dmat"
 	"repro/internal/fasta"
 	"repro/internal/kmer"
@@ -101,34 +103,56 @@ func formA(g *dmat.Grid, store *seqstore.Store, cfg Config, kmerSpace spmat.Inde
 
 // prefilterA drops k-mers occurring in more than cfg.MaxKmerFrequency
 // sequences (paper future work: over-represented k-mers contribute
-// quadratically many candidates with little homology evidence).
-func prefilterA(a *dmat.Mat[int32], cfg Config) (*dmat.Mat[int32], error) {
+// quadratically many candidates with little homology evidence). The second
+// result lists the banned k-mer ids within this rank's block-column range,
+// sorted — the persistent index stores them so query panels can apply the
+// same filter without recounting the database.
+func prefilterA(a *dmat.Mat[int32], cfg Config) (*dmat.Mat[int32], []spmat.Index, error) {
 	counts, err := a.ColumnCounts()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	maxFreq := int64(cfg.MaxKmerFrequency)
+	var banned []spmat.Index
+	for c, n := range counts {
+		if n > maxFreq {
+			banned = append(banned, c)
+		}
+	}
+	sort.Slice(banned, func(i, j int) bool { return banned[i] < banned[j] })
 	filtered := a.Prune(func(r, c spmat.Index, v int32) bool {
 		return counts[c] <= maxFreq
 	})
 	a.Release()
-	return filtered, nil
+	return filtered, banned, nil
 }
 
-// formS generates the substitute k-mer matrix S: for every distinct k-mer in
-// the local data, its m nearest substitutes (plus itself at distance 0), so
-// S has at most m+1 nonzeros per row (paper Section IV-C).
-func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
-	kmerSpace spmat.Index, stats *Stats) (*dmat.Mat[int32], error) {
-
-	clock := g.Comm.Clock()
+// formSTable enumerates the m-nearest substitute lists for every distinct
+// k-mer in the local data (paper Section IV-C). Split from the matrix
+// assembly so the persistent index can memoize the table — the enumeration
+// depends only on K, the scoring matrix and m, never on the query workload.
+func formSTable(distinct map[kmer.ID]struct{}, cfg Config) (map[kmer.ID][]subkmer.Neighbor, error) {
 	expense := scoring.NewExpense(scoring.BLOSUM62)
-	var triples []spmat.Triple[int32]
+	table := make(map[kmer.ID][]subkmer.Neighbor, len(distinct))
 	for id := range distinct {
 		nbrs, err := subkmer.FindCached(id, cfg.K, expense, cfg.SubstituteKmers)
 		if err != nil {
 			return nil, err
 		}
+		table[id] = nbrs
+	}
+	return table, nil
+}
+
+// formSFromTable assembles the substitute matrix S from an enumerated
+// neighbor table: for every distinct k-mer, itself at distance 0 plus its m
+// nearest substitutes, so S has at most m+1 nonzeros per row.
+func formSFromTable(g *dmat.Grid, table map[kmer.ID][]subkmer.Neighbor,
+	kmerSpace spmat.Index) (*dmat.Mat[int32], error) {
+
+	clock := g.Comm.Clock()
+	var triples []spmat.Triple[int32]
+	for id, nbrs := range table {
 		triples = append(triples, spmat.Triple[int32]{
 			Row: spmat.Index(id), Col: spmat.Index(id), Val: 0,
 		})
@@ -148,4 +172,16 @@ func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
 			}
 			return x
 		})
+}
+
+// formS generates the substitute k-mer matrix S in one step (the all-vs-all
+// pipeline path, which has no reason to keep the table around).
+func formS(g *dmat.Grid, distinct map[kmer.ID]struct{}, cfg Config,
+	kmerSpace spmat.Index, stats *Stats) (*dmat.Mat[int32], error) {
+
+	table, err := formSTable(distinct, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return formSFromTable(g, table, kmerSpace)
 }

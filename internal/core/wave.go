@@ -28,7 +28,9 @@ import (
 type wave struct {
 	grid  *dmat.Grid
 	clock *mpi.Clock
-	store *seqstore.Store
+	src   seqSource         // sequence lookup for alignment (store, or query/target pair)
+	waits []*seqstore.Store // exchanges to complete before the first alignment
+	query bool              // many-vs-DB panel semantics (no triangle filter, no swap)
 	cfg   Config
 
 	pending *panelFuture
@@ -56,8 +58,20 @@ type panelFuture struct {
 }
 
 func newWave(g *dmat.Grid, store *seqstore.Store, cfg Config, blocks int, fingerprint uint64) *wave {
-	return &wave{grid: g, clock: g.Comm.Clock(), store: store, cfg: cfg,
-		blocks: blocks, fingerprint: fingerprint}
+	return &wave{grid: g, clock: g.Comm.Clock(), src: store, waits: []*seqstore.Store{store},
+		cfg: cfg, blocks: blocks, fingerprint: fingerprint}
+}
+
+// newQueryWave drives the many-vs-DB sweep: panel rows are query sequences
+// (from qstore) and columns are database targets (from tstore), every
+// nonzero is a candidate, and checkpointing is off (query batches are cheap
+// to re-run; the expensive state is the persistent index itself).
+func newQueryWave(g *dmat.Grid, qstore, tstore *seqstore.Store, cfg Config, blocks int) *wave {
+	cfg.CheckpointDir = ""
+	return &wave{grid: g, clock: g.Comm.Clock(),
+		src:   pairSeqs{rows: qstore, cols: tstore},
+		waits: []*seqstore.Store{qstore, tstore},
+		query: true, cfg: cfg, blocks: blocks}
 }
 
 // restore seeds the driver with a checkpoint's merged state; the caller
@@ -75,7 +89,13 @@ func (w *wave) restore(ck *checkpointState) {
 func (w *wave) yield(panel int, colLo, colHi spmat.Index, bp, btp *dmat.Mat[Overlap]) error {
 	if !w.started && !w.cfg.BlockingExchange {
 		var err error
-		w.clock.Section(SectionWait, func() { err = w.store.Wait() })
+		w.clock.Section(SectionWait, func() {
+			for _, st := range w.waits {
+				if err = st.Wait(); err != nil {
+					return
+				}
+			}
+		})
 		if err != nil {
 			return err
 		}
@@ -86,7 +106,7 @@ func (w *wave) yield(panel int, colLo, colHi spmat.Index, bp, btp *dmat.Mat[Over
 	}
 	f := &panelFuture{panel: panel, bp: bp, btp: btp, start: w.clock.Now(), done: make(chan panelResult, 1)}
 	w.pending = f
-	go func() { f.done <- processPanel(f.bp, f.btp, w.store, w.cfg) }()
+	go func() { f.done <- processPanel(f.bp, f.btp, w.src, w.query, w.cfg) }()
 	return nil
 }
 

@@ -56,6 +56,11 @@ type recvRange struct {
 const (
 	tagRow = 1001
 	tagCol = 1002
+	// The query path runs two exchanges concurrently over one comm — the
+	// resident database partition and the query batch. Distinct tags keep
+	// their in-flight messages from cross-matching.
+	tagRowResident = 1003
+	tagColResident = 1004
 )
 
 // ownership lists every rank's owned global range, derived collectively.
@@ -77,12 +82,36 @@ func (o ownership) rangeOf(rank int) (lo, hi spmat.Index) {
 // It returns immediately; call Wait before reading row/col sequences.
 // Collective over the grid.
 func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
+	owned := make([]Sequence, len(recs))
+	for i, rec := range recs {
+		codes, err := alphabet.EncodeSeq(alphabet.Clean(rec.Seq))
+		if err != nil {
+			return nil, fmt.Errorf("seqstore: %s: %w", rec.ID, err)
+		}
+		owned[i] = Sequence{Name: rec.ID, Codes: codes}
+	}
+	g.Comm.Clock().Ops(float64(fasta.TotalSeqBytes(recs)) * 2)
+	return fromOwned(g, owned, tagRow, tagCol)
+}
+
+// FromOwned builds a store from an already-encoded owned partition — the
+// path the persistent index takes on reload, where sequences come from the
+// artifact rather than a FASTA parse. Global indices are (re)assigned from
+// the collective prefix sum, so they are correct whenever every rank holds
+// the same partition slice it held at build time. Launches the nonblocking
+// row/column prefetch exactly like Exchange, on the resident tag pair so it
+// can run concurrently with a query batch's Exchange; collective over the
+// grid.
+func FromOwned(g *dmat.Grid, owned []Sequence) (*Store, error) {
+	return fromOwned(g, owned, tagRowResident, tagColResident)
+}
+
+func fromOwned(g *dmat.Grid, owned []Sequence, rowTag, colTag int) (*Store, error) {
 	comm := g.Comm
-	clock := comm.Clock()
 
 	// Global indexing via prefix sum of owned counts (paper Section V-A:
 	// "a parallel prefix sum of sequence counts").
-	myCount := int64(len(recs))
+	myCount := int64(len(owned))
 	myStart, err := comm.TryExscanInt64(myCount)
 	if err != nil {
 		return nil, err
@@ -114,16 +143,11 @@ func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
 		Grid:       g,
 		Total:      spmat.Index(total),
 		OwnedStart: spmat.Index(myStart),
+		Owned:      owned,
 	}
-	st.Owned = make([]Sequence, len(recs))
-	for i, rec := range recs {
-		codes, err := alphabet.EncodeSeq(alphabet.Clean(rec.Seq))
-		if err != nil {
-			return nil, fmt.Errorf("seqstore: %s: %w", rec.ID, err)
-		}
-		st.Owned[i] = Sequence{Global: st.OwnedStart + spmat.Index(i), Name: rec.ID, Codes: codes}
+	for i := range st.Owned {
+		st.Owned[i].Global = st.OwnedStart + spmat.Index(i)
 	}
-	clock.Ops(float64(fasta.TotalSeqBytes(recs)) * 2)
 
 	st.RowLo, st.RowHi = dmat.BlockRange(st.Total, g.Q, g.MyRow)
 	st.ColLo, st.ColHi = dmat.BlockRange(st.Total, g.Q, g.MyCol)
@@ -139,12 +163,12 @@ func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
 		rLo, rHi := dmat.BlockRange(st.Total, g.Q, dRow)
 		cLo, cHi := dmat.BlockRange(st.Total, g.Q, dCol)
 		if lo, hi := intersect(myLo, myHi, rLo, rHi); lo < hi {
-			if _, err := comm.TryIsend(d, tagRow, st.encodeRange(lo, hi)); err != nil {
+			if _, err := comm.TryIsend(d, rowTag, st.encodeRange(lo, hi)); err != nil {
 				return nil, err
 			}
 		}
 		if lo, hi := intersect(myLo, myHi, cLo, cHi); lo < hi {
-			if _, err := comm.TryIsend(d, tagCol, st.encodeRange(lo, hi)); err != nil {
+			if _, err := comm.TryIsend(d, colTag, st.encodeRange(lo, hi)); err != nil {
 				return nil, err
 			}
 		}
@@ -153,11 +177,11 @@ func Exchange(g *dmat.Grid, recs []fasta.Record) (*Store, error) {
 	for s := 0; s < comm.Size(); s++ {
 		sLo, sHi := own.rangeOf(s)
 		if lo, hi := intersect(sLo, sHi, st.RowLo, st.RowHi); lo < hi {
-			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, tagRow))
+			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, rowTag))
 			st.recvMeta = append(st.recvMeta, recvRange{isRow: true, lo: lo, hi: hi})
 		}
 		if lo, hi := intersect(sLo, sHi, st.ColLo, st.ColHi); lo < hi {
-			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, tagCol))
+			st.pendingRecv = append(st.pendingRecv, comm.Irecv(s, colTag))
 			st.recvMeta = append(st.recvMeta, recvRange{isRow: false, lo: lo, hi: hi})
 		}
 	}
@@ -177,7 +201,7 @@ func (st *Store) Wait() error {
 		if err != nil {
 			return err
 		}
-		seqs, err := decodeSeqs(payload)
+		seqs, err := DecodeSequences(payload)
 		if err != nil {
 			return err
 		}
@@ -232,22 +256,29 @@ func intersect(aLo, aHi, bLo, bHi spmat.Index) (spmat.Index, spmat.Index) {
 
 // encodeRange serializes owned sequences with global indices in [lo,hi).
 func (st *Store) encodeRange(lo, hi spmat.Index) []byte {
-	var buf []byte
-	buf = appendU64(buf, uint64(hi-lo))
-	for g := lo; g < hi; g++ {
-		s := st.Owned[g-st.OwnedStart]
-		buf = appendU64(buf, uint64(s.Global))
-		buf = appendU64(buf, uint64(len(s.Name)))
-		buf = append(buf, s.Name...)
-		buf = appendU64(buf, uint64(len(s.Codes)))
-		for _, c := range s.Codes {
-			buf = append(buf, byte(c))
-		}
-	}
-	return buf
+	return AppendSequences(nil, st.Owned[lo-st.OwnedStart:hi-st.OwnedStart])
 }
 
-func decodeSeqs(buf []byte) ([]Sequence, error) {
+// AppendSequences appends the wire encoding of seqs — the same format the
+// row/column prefetch puts on the transport, reused verbatim as the "seq"
+// section of the persistent index artifact.
+func AppendSequences(dst []byte, seqs []Sequence) []byte {
+	dst = appendU64(dst, uint64(len(seqs)))
+	for _, s := range seqs {
+		dst = appendU64(dst, uint64(s.Global))
+		dst = appendU64(dst, uint64(len(s.Name)))
+		dst = append(dst, s.Name...)
+		dst = appendU64(dst, uint64(len(s.Codes)))
+		for _, c := range s.Codes {
+			dst = append(dst, byte(c))
+		}
+	}
+	return dst
+}
+
+// DecodeSequences parses an AppendSequences encoding, validating every
+// length against the remaining buffer.
+func DecodeSequences(buf []byte) ([]Sequence, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("seqstore: truncated message")
 	}
@@ -283,6 +314,9 @@ func decodeSeqs(buf []byte) ([]Sequence, error) {
 		}
 		buf = buf[seqLen:]
 		out = append(out, Sequence{Global: g, Name: name, Codes: codes})
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("seqstore: %d trailing bytes after %d records", len(buf), n)
 	}
 	return out, nil
 }

@@ -40,6 +40,15 @@ func FindCached(root kmer.ID, k int, e *scoring.Expense, m int) ([]Neighbor, err
 	return nbrs, nil
 }
 
+// Seed installs a precomputed neighbor list — e.g. one read back from a
+// persistent index artifact — so later FindCached calls hit without running
+// the search. A list shorter than a later caller's m is simply widened by
+// FindCached, so seeding can never corrupt results, only save work. The
+// slice is retained; callers must not modify it afterwards.
+func Seed(root kmer.ID, k int, matrixName string, nbrs []Neighbor) {
+	cache.Store(cacheKey{id: root, k: k, matrix: matrixName}, nbrs)
+}
+
 // ClearCache drops all memoized neighbor lists (bounds memory between
 // experiment sweeps).
 func ClearCache() {

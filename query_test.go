@@ -1,0 +1,220 @@
+package pastis
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pairKey normalizes an edge or hit to the all-vs-all pair space.
+type pairKey struct{ lo, hi int }
+
+type pairVal struct {
+	Weight, Ident, Cov, NS float64
+	Score                  int
+}
+
+// queryDiffCase runs BuildGraph over the whole dataset and BuildIndex +
+// Query over the same data with every 3rd record as the query batch, then
+// asserts the query hits are bit-identical to the all-vs-all edges
+// restricted to pairs touching a query.
+func queryDiffCase(t *testing.T, cfg Config, nodes int) {
+	t.Helper()
+	data, err := GenerateScopeLike(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := data.Records
+
+	full, err := BuildGraph(recs, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var queries []Record
+	var dbIdx []int // batch position -> database global index
+	for i := 0; i < len(recs); i += 3 {
+		queries = append(queries, recs[i])
+		dbIdx = append(dbIdx, i)
+	}
+	isQuery := make(map[int]bool, len(dbIdx))
+	for _, di := range dbIdx {
+		isQuery[di] = true
+	}
+
+	dir := t.TempDir()
+	if _, err := BuildIndex(recs, nodes, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.Query(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected: all-vs-all edges with a query endpoint.
+	want := make(map[pairKey]pairVal)
+	for _, e := range full.Edges {
+		if isQuery[int(e.R)] || isQuery[int(e.C)] {
+			want[pairKey{int(e.R), int(e.C)}] = pairVal{e.Weight, e.Ident, e.Cov, e.NS, e.Score}
+		}
+	}
+
+	// Actual: hits mapped into pair space. Self-hits are a query matching
+	// its own database row — present by design in the serving API, absent
+	// from the all-vs-all graph. A pair of two queries appears in both
+	// batch rows; both must carry identical values.
+	got := make(map[pairKey]pairVal)
+	for _, h := range batch.Hits {
+		q := dbIdx[h.Query]
+		if q == h.Target {
+			continue // self-hit
+		}
+		k := pairKey{q, h.Target}
+		if k.lo > k.hi {
+			k.lo, k.hi = k.hi, k.lo
+		}
+		v := pairVal{h.Weight, h.Ident, h.Cov, h.NS, h.Score}
+		if prev, dup := got[k]; dup && prev != v {
+			t.Fatalf("pair (%d,%d) seen from both query rows with different values: %+v vs %+v",
+				k.lo, k.hi, prev, v)
+		}
+		got[k] = v
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("query path found %d pairs, all-vs-all restricted to queries has %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("pair (%d,%d) missing from query results", k.lo, k.hi)
+		}
+		if g != w {
+			t.Fatalf("pair (%d,%d) differs: query %+v, all-vs-all %+v", k.lo, k.hi, g, w)
+		}
+	}
+}
+
+// TestQueryMatchesAllVsAll sweeps the bit-identity differential across
+// thread counts, wave counts and both transports, in exact and substitute
+// modes (ISSUE 9 acceptance criterion).
+func TestQueryMatchesAllVsAll(t *testing.T) {
+	for _, subs := range []int{0, 10} {
+		for _, threads := range []int{1, 3} {
+			for _, blocks := range []int{1, 3} {
+				for _, transport := range []string{"shared", "codec"} {
+					name := fmt.Sprintf("subs=%d/t=%d/b=%d/%s", subs, threads, blocks, transport)
+					t.Run(name, func(t *testing.T) {
+						cfg := DefaultConfig()
+						cfg.SubstituteKmers = subs
+						cfg.Threads = threads
+						cfg.Blocks = blocks
+						cfg.Transport = transport
+						if subs > 0 {
+							cfg.CommonKmerThreshold = 1
+						}
+						queryDiffCase(t, cfg, 4)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestQueryMatchesAllVsAllFiltered exercises the persisted banned-k-mer
+// list: the query panel must replay the database's frequency pre-filter.
+func TestQueryMatchesAllVsAllFiltered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SubstituteKmers = 10
+	cfg.MaxKmerFrequency = 8
+	cfg.CommonKmerThreshold = 1
+	queryDiffCase(t, cfg, 4)
+}
+
+// TestQueryCacheIdentity: repeating a batch must answer entirely from the
+// result cache with bit-identical hits, and a changed alignment config must
+// flush the cache rather than serve stale results.
+func TestQueryCacheIdentity(t *testing.T) {
+	data, err := GenerateScopeLike(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := data.Records
+	cfg := DefaultConfig()
+	cfg.SubstituteKmers = 10
+	cfg.CommonKmerThreshold = 1
+
+	dir := t.TempDir()
+	if _, err := BuildIndex(recs, 4, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := recs[:6]
+
+	first, err := eng.Query(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses == 0 {
+		t.Fatal("first batch reported no cache misses")
+	}
+	repeat, err := eng.Query(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.CacheHits != len(queries) || repeat.CacheMisses != 0 {
+		t.Fatalf("repeat batch: %d hits / %d misses, want %d / 0",
+			repeat.CacheHits, repeat.CacheMisses, len(queries))
+	}
+	if repeat.Time != 0 {
+		t.Fatalf("fully-cached batch reported virtual time %g", repeat.Time)
+	}
+	if len(repeat.Hits) != len(first.Hits) {
+		t.Fatalf("cached batch has %d hits, first had %d", len(repeat.Hits), len(first.Hits))
+	}
+	for i := range first.Hits {
+		if first.Hits[i] != repeat.Hits[i] {
+			t.Fatalf("hit %d drifted through the cache: %+v vs %+v", i, first.Hits[i], repeat.Hits[i])
+		}
+	}
+
+	// A PSG-relevant knob change must flush, not serve stale values.
+	stricter := cfg
+	stricter.MinIdentity = 0.9
+	third, err := eng.Query(queries, stricter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHits != 0 {
+		t.Fatalf("config change still served %d cached queries", third.CacheHits)
+	}
+	for _, h := range third.Hits {
+		if h.Ident < 0.9 {
+			t.Fatalf("stale threshold: hit %+v below MinIdentity 0.9", h)
+		}
+	}
+
+	// Disabling the cache must fall back to full recompute, bit-identically.
+	eng.CacheCap = 0
+	uncached, err := eng.Query(queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.CacheHits != 0 {
+		t.Fatalf("disabled cache still served %d queries", uncached.CacheHits)
+	}
+	if len(uncached.Hits) != len(first.Hits) {
+		t.Fatalf("uncached rerun has %d hits, first had %d", len(uncached.Hits), len(first.Hits))
+	}
+	for i := range first.Hits {
+		if first.Hits[i] != uncached.Hits[i] {
+			t.Fatalf("hit %d drifted on uncached rerun: %+v vs %+v", i, first.Hits[i], uncached.Hits[i])
+		}
+	}
+}

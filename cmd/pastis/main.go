@@ -27,6 +27,13 @@
 // build-index persists the target-side matrices once; query answers any
 // number of batches against them, bit-identical to what the all-vs-all run
 // would report for those pairs.
+//
+// -transport selects the block transport backend. shared (default) and
+// codec run every rank as a goroutine of this process; tcp forks one OS
+// process per rank (the hidden pastis-rank worker mode) and moves every
+// message over length-prefixed checksummed loopback TCP frames. The edge
+// list, statistics and virtual clock are bit-identical across all three;
+// -tcp-logdir chooses where the per-rank worker logs land.
 package main
 
 import (
@@ -37,11 +44,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/mpi"
 	"repro/internal/parallel"
 )
 
@@ -54,9 +64,14 @@ func main() {
 		case "query":
 			runQuery(os.Args[2:])
 			return
+		case "pastis-rank":
+			// Hidden worker mode: one rank of a -transport tcp run,
+			// launched by the parent pastis process.
+			runTCPRank(os.Args[2:])
+			return
 		}
 	}
-	allVsAll()
+	allVsAll(os.Args[1:])
 }
 
 // runBuildIndex persists the build-once half of the pipeline for dir.
@@ -207,40 +222,164 @@ func readFASTA(path string) []pastis.Record {
 	return recs
 }
 
-func allVsAll() {
-	var (
-		inPath  = flag.String("in", "", "input FASTA file (required)")
-		outPath = flag.String("out", "-", "output edge list ('-' = stdout)")
-		nodes   = flag.Int("nodes", 16, "simulated node count (perfect square)")
-		k       = flag.Int("k", 6, "k-mer length")
-		subs    = flag.Int("subs", 0, "substitute k-mers per k-mer (0 = exact matching)")
-		alignFl = flag.String("align", "xd",
+// avOptions holds the all-vs-all flag set. It is built by newAVOptions so
+// the top-level run and the pastis-rank worker (which re-parses the argv
+// tail the launcher forwarded after "--") accept the exact same surface.
+type avOptions struct {
+	fs        *flag.FlagSet
+	inPath    *string
+	outPath   *string
+	nodes     *int
+	k         *int
+	subs      *int
+	alignFl   *string
+	weight    *string
+	ck        *int
+	minID     *float64
+	minCov    *float64
+	xdrop     *int
+	threads   *int
+	batch     *int
+	blocks    *int
+	transp    *string
+	ckptDir   *string
+	resume    *bool
+	mem       *int64
+	stats     *bool
+	cpuProf   *string
+	memProf   *string
+	tcpLogDir *string
+}
+
+func newAVOptions(name string) *avOptions {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	o := &avOptions{
+		fs:      fs,
+		inPath:  fs.String("in", "", "input FASTA file (required)"),
+		outPath: fs.String("out", "-", "output edge list ('-' = stdout)"),
+		nodes:   fs.Int("nodes", 16, "simulated node count (perfect square)"),
+		k:       fs.Int("k", 6, "k-mer length"),
+		subs:    fs.Int("subs", 0, "substitute k-mers per k-mer (0 = exact matching)"),
+		alignFl: fs.String("align", "xd",
 			"alignment kernel: "+strings.Join(pastis.Kernels(), "|")+
-				", a cascade spec (e.g. ug:60+sw), or none")
-		weight  = flag.String("weight", "ani", "edge weight: ani or ns")
-		ck      = flag.Int("ck", 0, "common k-mer threshold (0 = off; paper: 1 exact / 3 subs)")
-		minID   = flag.Float64("min-identity", 0.30, "ANI filter: minimum identity")
-		minCov  = flag.Float64("min-coverage", 0.70, "ANI filter: minimum shorter-sequence coverage")
-		xdrop   = flag.Int("xdrop", 49, "x-drop value for seed extension")
-		threads = flag.Int("threads", 1, "intra-rank threads for SpGEMM and alignment (0 = all host cores)")
-		batch   = flag.Int("batch", 0, "alignment batch size (0 = default)")
-		blocks  = flag.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)")
-		transp  = flag.String("transport", "shared", "block transport: shared (zero-copy) or codec (byte serialization reference)")
-		ckptDir = flag.String("checkpoint", "", "directory for per-wave checkpoints (resumable with -resume)")
-		resume  = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint dir")
-		mem     = flag.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited); breaches retry at doubled -blocks")
-		stats   = flag.Bool("stats", false, "print pipeline statistics to stderr")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
-	)
-	flag.Parse()
-	if *inPath == "" {
+				", a cascade spec (e.g. ug:60+sw), or none"),
+		weight:  fs.String("weight", "ani", "edge weight: ani or ns"),
+		ck:      fs.Int("ck", 0, "common k-mer threshold (0 = off; paper: 1 exact / 3 subs)"),
+		minID:   fs.Float64("min-identity", 0.30, "ANI filter: minimum identity"),
+		minCov:  fs.Float64("min-coverage", 0.70, "ANI filter: minimum shorter-sequence coverage"),
+		xdrop:   fs.Int("xdrop", 49, "x-drop value for seed extension"),
+		threads: fs.Int("threads", 1, "intra-rank threads for SpGEMM and alignment (0 = all host cores)"),
+		batch:   fs.Int("batch", 0, "alignment batch size (0 = default)"),
+		blocks:  fs.Int("blocks", 1, "overlap waves: column panels of the candidate matrix (bounds peak memory)"),
+		transp: fs.String("transport", "shared",
+			"block transport: shared (zero-copy), codec (byte serialization reference) or tcp (one OS process per rank)"),
+		ckptDir:   fs.String("checkpoint", "", "directory for per-wave checkpoints (resumable with -resume)"),
+		resume:    fs.Bool("resume", false, "resume from the newest checkpoint in -checkpoint dir"),
+		mem:       fs.Int64("mem", 0, "per-rank memory budget in bytes (0 = unlimited); breaches retry at doubled -blocks"),
+		stats:     fs.Bool("stats", false, "print pipeline statistics to stderr"),
+		cpuProf:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memProf:   fs.String("memprofile", "", "write a heap profile to this file"),
+		tcpLogDir: fs.String("tcp-logdir", "", "per-rank worker log directory for -transport tcp (default: under the system temp dir)"),
+	}
+	return o
+}
+
+// config assembles the pipeline Config from parsed flags.
+func (o *avOptions) config() pastis.Config {
+	cfg := pastis.DefaultConfig()
+	cfg.K = *o.k
+	cfg.SubstituteKmers = *o.subs
+	cfg.CommonKmerThreshold = *o.ck
+	cfg.MinIdentity = *o.minID
+	cfg.MinCoverage = *o.minCov
+	cfg.XDropValue = *o.xdrop
+	cfg.Threads = parallel.Resolve(*o.threads)
+	cfg.BatchSize = *o.batch
+	cfg.Blocks = *o.blocks
+	cfg.Transport = *o.transp
+	cfg.CheckpointDir = *o.ckptDir
+	cfg.Resume = *o.resume
+	cfg.MemBudget = *o.mem
+	// Any registered kernel name (or "none") is valid; core's config
+	// validation rejects unknown names with the registered list.
+	cfg.Align = pastis.AlignMode(*o.alignFl)
+	switch *o.weight {
+	case "ani":
+		cfg.Weight = pastis.WeightANI
+	case "ns":
+		cfg.Weight = pastis.WeightNS
+	default:
+		fatal(fmt.Errorf("unknown -weight %q", *o.weight))
+	}
+	return cfg
+}
+
+// writeEdges renders the similarity graph as the TSV edge list.
+func writeEdges(outPath string, recs []pastis.Record, edges []pastis.Edge) {
+	out := os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	fmt.Fprintln(w, "#seq1\tseq2\tweight\tidentity\tcoverage\tns\tscore")
+	for _, e := range edges {
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
+			recs[e.R].ID, recs[e.C].ID, e.Weight, e.Ident, e.Cov, e.NS, e.Score)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+// printStats writes the -stats dissection to stderr.
+func printStats(res *pastis.Result, alignFl string, blocks int) {
+	s := res.Stats
+	fmt.Fprintf(os.Stderr, "sequences:      %d\n", s.NumSeqs)
+	fmt.Fprintf(os.Stderr, "k-mers:         %d\n", s.KmersTotal)
+	fmt.Fprintf(os.Stderr, "nnz(A):         %d\n", s.NNZA)
+	fmt.Fprintf(os.Stderr, "nnz(S):         %d\n", s.NNZS)
+	fmt.Fprintf(os.Stderr, "nnz(B):         %d (pruned: %d)\n", s.NNZB, s.NNZBPruned)
+	fmt.Fprintf(os.Stderr, "pairs aligned:  %d\n", s.PairsAligned)
+	fmt.Fprintf(os.Stderr, "dp cells:       %d (%s kernel)\n", s.CellsComputed, alignFl)
+	for i, sp := range s.PairsPerStage {
+		role := "prefilter"
+		if i == len(s.PairsPerStage)-1 {
+			role = "rescue"
+		}
+		fmt.Fprintf(os.Stderr, "  stage %-4s    %-9s  examined %d  passed %d  rejected %d  cells %d\n",
+			sp.Name, role, sp.Examined, sp.Passed, sp.Rejected, s.CellsPerStage[i])
+	}
+	fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
+	fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
+	fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)
+	fmt.Fprintf(os.Stderr, "peak bytes:     %d per rank (blocks=%d)\n", res.PeakBytes, res.EffectiveBlocks)
+	if res.EffectiveBlocks != blocks {
+		fmt.Fprintf(os.Stderr, "degraded:       -mem budget raised blocks %d -> %d\n", blocks, res.EffectiveBlocks)
+	}
+	if res.RetryBytes > 0 {
+		fmt.Fprintf(os.Stderr, "retry bytes:    %d re-sent recovering from faults\n", res.RetryBytes)
+	}
+}
+
+func allVsAll(args []string) {
+	o := newAVOptions("pastis")
+	o.fs.Parse(args)
+	if *o.inPath == "" {
 		fmt.Fprintln(os.Stderr, "pastis: -in is required")
-		flag.Usage()
+		o.fs.Usage()
 		os.Exit(2)
 	}
-	if *cpuProf != "" || *memProf != "" {
-		stop, err := bench.StartProfiles(*cpuProf, *memProf)
+	if *o.transp == "tcp" {
+		launchTCPRun(o, args)
+		return
+	}
+	if *o.cpuProf != "" || *o.memProf != "" {
+		stop, err := bench.StartProfiles(*o.cpuProf, *o.memProf)
 		if err != nil {
 			fatal(err)
 		}
@@ -251,53 +390,20 @@ func allVsAll() {
 		}()
 	}
 
-	f, err := os.Open(*inPath)
-	if err != nil {
-		fatal(err)
-	}
-	recs, err := pastis.ReadFASTA(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-
-	cfg := pastis.DefaultConfig()
-	cfg.K = *k
-	cfg.SubstituteKmers = *subs
-	cfg.CommonKmerThreshold = *ck
-	cfg.MinIdentity = *minID
-	cfg.MinCoverage = *minCov
-	cfg.XDropValue = *xdrop
-	cfg.Threads = parallel.Resolve(*threads)
-	cfg.BatchSize = *batch
-	cfg.Blocks = *blocks
-	cfg.Transport = *transp
-	cfg.CheckpointDir = *ckptDir
-	cfg.Resume = *resume
-	cfg.MemBudget = *mem
-	// Any registered kernel name (or "none") is valid; core's config
-	// validation rejects unknown names with the registered list.
-	cfg.Align = pastis.AlignMode(*alignFl)
-	switch *weight {
-	case "ani":
-		cfg.Weight = pastis.WeightANI
-	case "ns":
-		cfg.Weight = pastis.WeightNS
-	default:
-		fatal(fmt.Errorf("unknown -weight %q", *weight))
-	}
+	recs := readFASTA(*o.inPath)
+	cfg := o.config()
 
 	// SIGINT/SIGTERM cancel the run at the next collective boundary: the
 	// in-flight wave drains (its checkpoint lands if -checkpoint is set)
 	// and the process exits 130, the conventional interrupted status.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	res, err := pastis.BuildGraphContext(ctx, recs, *nodes, cfg, pastis.DefaultCostModel())
+	res, err := pastis.BuildGraphContext(ctx, recs, *o.nodes, cfg, pastis.DefaultCostModel())
 	if err != nil {
 		if errors.Is(err, pastis.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, "pastis: interrupted")
-			if *ckptDir != "" {
-				fmt.Fprintf(os.Stderr, "pastis: resume with -checkpoint %s -resume\n", *ckptDir)
+			if *o.ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "pastis: resume with -checkpoint %s -resume\n", *o.ckptDir)
 			}
 			os.Exit(130)
 		}
@@ -305,51 +411,128 @@ func allVsAll() {
 	}
 	stopSignals()
 
-	out := os.Stdout
-	if *outPath != "-" {
-		out, err = os.Create(*outPath)
+	writeEdges(*o.outPath, recs, res.Edges)
+	if *o.stats {
+		printStats(res, *o.alignFl, *o.blocks)
+	}
+}
+
+// launchTCPRun is the parent half of -transport tcp: fork one pastis-rank
+// worker per node, forwarding this process's own argv after "--" so the
+// workers parse the identical configuration, and mirror rank 0's output.
+func launchTCPRun(o *avOptions, args []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	logDir := *o.tcpLogDir
+	if logDir == "" {
+		logDir = filepath.Join(os.TempDir(), fmt.Sprintf("pastis-tcp-%d", os.Getpid()))
+	}
+	err = mpi.LaunchTCP(mpi.TCPLaunch{
+		Procs:   *o.nodes,
+		Command: exe,
+		Args: func(rank int) []string {
+			head := []string{"pastis-rank", "-rank", strconv.Itoa(rank), "-size", strconv.Itoa(*o.nodes), "--"}
+			return append(head, args...)
+		},
+		LogDir: logDir,
+		Stdout: os.Stdout,
+		Stderr: os.Stderr,
+	})
+	if err != nil {
+		// Workers report their own failure on (mirrored) stderr; preserve
+		// the worker's exit status — 130 keeps interruption observable.
+		if code := mpi.ExitCode(err); code > 0 {
+			fmt.Fprintf(os.Stderr, "pastis: %v\n", err)
+			os.Exit(code)
+		}
+		fatal(err)
+	}
+}
+
+// runTCPRank is one rank of a -transport tcp run: build the TCP mesh over
+// the launcher's stdin/stdout address exchange, run the rank's pipeline
+// share, and (on rank 0) emit the edge list and statistics.
+func runTCPRank(args []string) {
+	fs := flag.NewFlagSet("pastis pastis-rank", flag.ExitOnError)
+	rank := fs.Int("rank", 0, "this worker's rank")
+	size := fs.Int("size", 1, "total rank count")
+	fs.Parse(args)
+	o := newAVOptions("pastis pastis-rank")
+	o.fs.Parse(fs.Args())
+	if *o.inPath == "" {
+		fatal(fmt.Errorf("pastis-rank %d: -in is required", *rank))
+	}
+	if *o.cpuProf != "" || *o.memProf != "" {
+		// Each worker is its own process: suffix the profile paths per rank
+		// so the fleet does not clobber one file.
+		suffix := func(p string) string {
+			if p == "" {
+				return ""
+			}
+			return fmt.Sprintf("%s.rank-%d", p, *rank)
+		}
+		stop, err := bench.StartProfiles(suffix(*o.cpuProf), suffix(*o.memProf))
 		if err != nil {
 			fatal(err)
 		}
-		defer out.Close()
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+		}()
 	}
-	w := bufio.NewWriter(out)
-	fmt.Fprintln(w, "#seq1\tseq2\tweight\tidentity\tcoverage\tns\tscore")
-	for _, e := range res.Edges {
-		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%d\n",
-			recs[e.R].ID, recs[e.C].ID, e.Weight, e.Ident, e.Cov, e.NS, e.Score)
-	}
-	if err := w.Flush(); err != nil {
+	recs := readFASTA(*o.inPath)
+	cfg := o.config()
+
+	cl, err := mpi.StartTCPWorker(*rank, *size, pastis.DefaultCostModel(), os.Stdin, os.Stdout)
+	if err != nil {
 		fatal(err)
 	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	finished := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cl.Interrupt(context.Cause(ctx))
+		case <-finished:
+		}
+	}()
 
-	if *stats {
-		s := res.Stats
-		fmt.Fprintf(os.Stderr, "sequences:      %d\n", s.NumSeqs)
-		fmt.Fprintf(os.Stderr, "k-mers:         %d\n", s.KmersTotal)
-		fmt.Fprintf(os.Stderr, "nnz(A):         %d\n", s.NNZA)
-		fmt.Fprintf(os.Stderr, "nnz(S):         %d\n", s.NNZS)
-		fmt.Fprintf(os.Stderr, "nnz(B):         %d (pruned: %d)\n", s.NNZB, s.NNZBPruned)
-		fmt.Fprintf(os.Stderr, "pairs aligned:  %d\n", s.PairsAligned)
-		fmt.Fprintf(os.Stderr, "dp cells:       %d (%s kernel)\n", s.CellsComputed, *alignFl)
-		for i, sp := range s.PairsPerStage {
-			role := "prefilter"
-			if i == len(s.PairsPerStage)-1 {
-				role = "rescue"
+	var res *pastis.Result
+	err = cl.Run(func(c *mpi.Comm) error {
+		r, err := pastis.RunRank(c, recs, cfg)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	close(finished)
+	tcpStats, _ := cl.TCPStats()
+	if cerr := cl.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		if errors.Is(err, pastis.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "pastis: interrupted")
+			if *o.ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "pastis: resume with -checkpoint %s -resume\n", *o.ckptDir)
 			}
-			fmt.Fprintf(os.Stderr, "  stage %-4s    %-9s  examined %d  passed %d  rejected %d  cells %d\n",
-				sp.Name, role, sp.Examined, sp.Passed, sp.Rejected, s.CellsPerStage[i])
+			os.Exit(130)
 		}
-		fmt.Fprintf(os.Stderr, "edges kept:     %d\n", s.EdgesKept)
-		fmt.Fprintf(os.Stderr, "virtual time:   %.4g s on %d nodes\n", res.Time, res.Nodes)
-		fmt.Fprintf(os.Stderr, "bytes on wire:  %d\n", res.BytesOnWire)
-		fmt.Fprintf(os.Stderr, "peak bytes:     %d per rank (blocks=%d)\n", res.PeakBytes, res.EffectiveBlocks)
-		if res.EffectiveBlocks != *blocks {
-			fmt.Fprintf(os.Stderr, "degraded:       -mem budget raised blocks %d -> %d\n", *blocks, res.EffectiveBlocks)
-		}
-		if res.RetryBytes > 0 {
-			fmt.Fprintf(os.Stderr, "retry bytes:    %d re-sent recovering from faults\n", res.RetryBytes)
-		}
+		fatal(err)
+	}
+	if *rank != 0 {
+		return
+	}
+	writeEdges(*o.outPath, recs, res.Edges)
+	if *o.stats {
+		printStats(res, *o.alignFl, *o.blocks)
+		fmt.Fprintf(os.Stderr, "tcp comm wall:  %v on rank 0 (%d frames / %d bytes sent, %d frames / %d bytes received)\n",
+			tcpStats.CommWall, tcpStats.FramesSent, tcpStats.BytesSent, tcpStats.FramesReceived, tcpStats.BytesReceived)
 	}
 }
 

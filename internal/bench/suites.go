@@ -293,63 +293,78 @@ func Comm(size Size) (*Report, error) {
 
 	r := newReport("comm", size)
 	var opErr error
-	bcast := func(backend dmat.Backend) Op {
-		return func() (int64, int64) {
-			cl := mpi.NewCluster(p, mpi.DefaultCostModel())
-			err := cl.Run(func(c *mpi.Comm) error {
-				g, err := dmat.NewGrid(c)
-				if err != nil {
+	bcastBody := func(backend dmat.Backend) func(*mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			g, err := dmat.NewGrid(c)
+			if err != nil {
+				return err
+			}
+			g.Backend = backend
+			for i := 0; i < rounds; i++ {
+				var send *spmat.DCSC[float64]
+				if c.Rank() == 0 {
+					send = blk
+				}
+				if _, err := dmat.BcastBlock(g, c, 0, send, dmat.Float64Codec); err != nil {
 					return err
 				}
-				g.Backend = backend
-				for i := 0; i < rounds; i++ {
-					var send *spmat.DCSC[float64]
-					if c.Rank() == 0 {
-						send = blk
-					}
-					if _, err := dmat.BcastBlock(g, c, 0, send, dmat.Float64Codec); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
+			}
+			return nil
+		}
+	}
+	shuffleBody := func(backend dmat.Backend) func(*mpi.Comm) error {
+		return func(c *mpi.Comm) error {
+			g, err := dmat.NewGrid(c)
 			if err != nil {
+				return err
+			}
+			g.Backend = backend
+			var mine []spmat.Triple[float64]
+			for i := c.Rank(); i < len(ts); i += p {
+				mine = append(mine, ts[i])
+			}
+			for i := 0; i < rounds; i++ {
+				if _, err := dmat.NewFromTriples(g, n, n, mine, dmat.Float64Codec, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	sim := func(body func(*mpi.Comm) error) Op {
+		return func() (int64, int64) {
+			cl := mpi.NewCluster(p, mpi.DefaultCostModel())
+			if err := cl.Run(body); err != nil {
 				opErr = err
 			}
 			return 0, 0
 		}
 	}
-	shuffle := func(backend dmat.Backend) Op {
+	// The tcp ops measure the full multi-process stack on loopback — mesh
+	// handshake, frame codec, kernel sockets — minus fork/exec; the codec
+	// block path is the only one that can cross a process boundary.
+	tcp := func(body func(*mpi.Comm) error) Op {
 		return func() (int64, int64) {
-			cl := mpi.NewCluster(p, mpi.DefaultCostModel())
-			err := cl.Run(func(c *mpi.Comm) error {
-				g, err := dmat.NewGrid(c)
-				if err != nil {
-					return err
-				}
-				g.Backend = backend
-				var mine []spmat.Triple[float64]
-				for i := c.Rank(); i < len(ts); i += p {
-					mine = append(mine, ts[i])
-				}
-				for i := 0; i < rounds; i++ {
-					if _, err := dmat.NewFromTriples(g, n, n, mine, dmat.Float64Codec, nil); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
-			if err != nil {
+			if err := mpi.RunTCPLocal(p, mpi.DefaultCostModel(), nil, body); err != nil {
 				opErr = err
 			}
 			return 0, 0
 		}
 	}
+	bcast := func(backend dmat.Backend) Op { return sim(bcastBody(backend)) }
+	shuffle := func(backend dmat.Backend) Op { return sim(shuffleBody(backend)) }
 	r.Entries = append(r.Entries,
 		Measure("comm/bcast-block", "before", size.Target, bcast(dmat.BackendCodec)),
 		Measure("comm/bcast-block", "after", size.Target, bcast(dmat.BackendShared)),
 		Measure("comm/alltoallv-triples", "before", size.Target, shuffle(dmat.BackendCodec)),
 		Measure("comm/alltoallv-triples", "after", size.Target, shuffle(dmat.BackendShared)),
+		// tcp-vs-shared pairs: "before" is the tcp backend, "after" the
+		// in-process shared path, so the reported speedup is the address-space
+		// dividend the simulator's zero-copy transport keeps.
+		Measure("comm/tcp-bcast-block", "before", size.Target, tcp(bcastBody(dmat.BackendCodec))),
+		Measure("comm/tcp-bcast-block", "after", size.Target, bcast(dmat.BackendShared)),
+		Measure("comm/tcp-alltoallv-triples", "before", size.Target, tcp(shuffleBody(dmat.BackendCodec))),
+		Measure("comm/tcp-alltoallv-triples", "after", size.Target, shuffle(dmat.BackendShared)),
 	)
 	if opErr != nil {
 		return nil, opErr

@@ -3,15 +3,18 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/dmat"
 	"repro/internal/fasta"
 	"repro/internal/mpi"
 	"repro/internal/synth"
+	"repro/internal/testutil"
 )
 
 // chaosRun is one pipeline execution with the config's fault plan actually
@@ -23,6 +26,7 @@ type chaosRun struct {
 	blocks  int // Result.EffectiveBlocks on rank 0
 	total   int64
 	retry   int64
+	peak    int64
 	maxTime float64
 	fstats  mpi.FaultStats
 }
@@ -53,17 +57,95 @@ func runChaosPipeline(recs []fasta.Record, p int, cfg Config) (chaosRun, error) 
 	})
 	out.total = cl.TotalBytes()
 	out.retry = cl.RetryBytes()
+	out.peak = cl.PeakBytes()
 	out.maxTime = cl.MaxTime()
 	out.fstats = cl.FaultStats()
 	if err != nil {
 		return out, err
 	}
+	sortChaosEdges(&out)
+	return out, nil
+}
+
+func sortChaosEdges(out *chaosRun) {
 	sort.Slice(out.edges, func(i, j int) bool {
 		if out.edges[i].R != out.edges[j].R {
 			return out.edges[i].R < out.edges[j].R
 		}
 		return out.edges[i].C < out.edges[j].C
 	})
+}
+
+// runChaosPipelineTCP is runChaosPipeline on the tcp transport: p tcp-backed
+// single-rank clusters over real loopback sockets (mpi.RunTCPLocal). No
+// address space sees every rank's clock, so the cluster-wide totals are
+// reduced with collectives from per-rank snapshots taken right after the
+// gather — the exact read point of the whole-cluster accessors above, which
+// keeps the two runners bit-comparable.
+func runChaosPipelineTCP(recs []fasta.Record, p int, cfg Config) (chaosRun, error) {
+	var out chaosRun
+	clusters := make([]*mpi.Cluster, p)
+	err := mpi.RunTCPLocal(p, mpi.DefaultCostModel(), func(rank int, cl *mpi.Cluster) {
+		clusters[rank] = cl
+		if cfg.Faults != nil {
+			cl.ArmFaults(*cfg.Faults)
+		}
+	}, func(c *mpi.Comm) error {
+		n := len(recs)
+		lo, hi := n*c.Rank()/p, n*(c.Rank()+1)/p
+		res, err := Run(c, recs[lo:hi], cfg)
+		if err != nil {
+			return err
+		}
+		all, err := GatherEdges(c, res.Edges)
+		if err != nil {
+			return err
+		}
+		clk := c.Clock()
+		now, sent, retry, peak := clk.Now(), clk.BytesSent(), clk.RetryBytes(), clk.PeakBytes()
+		bits, err := c.TryAllreduceInt64("max", int64(math.Float64bits(now)))
+		if err != nil {
+			return err
+		}
+		total, err := c.TryAllreduceInt64("sum", sent)
+		if err != nil {
+			return err
+		}
+		retryAll, err := c.TryAllreduceInt64("sum", retry)
+		if err != nil {
+			return err
+		}
+		peakAll, err := c.TryAllreduceInt64("max", peak)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out.edges = all
+			out.stats = res.Stats
+			out.blocks = res.EffectiveBlocks
+			out.maxTime = math.Float64frombits(uint64(bits))
+			out.total = total
+			out.retry = retryAll
+			out.peak = peakAll
+		}
+		return nil
+	})
+	for _, cl := range clusters {
+		if cl == nil {
+			continue
+		}
+		fs := cl.FaultStats()
+		out.fstats.Drops += fs.Drops
+		out.fstats.Corrupts += fs.Corrupts
+		out.fstats.Delays += fs.Delays
+		out.fstats.Crashes += fs.Crashes
+		out.fstats.Gates += fs.Gates
+		out.fstats.P2PDrops += fs.P2PDrops
+	}
+	if err != nil {
+		return out, err
+	}
+	sortChaosEdges(&out)
 	return out, nil
 }
 
@@ -122,6 +204,7 @@ func sameGraph(t *testing.T, name string, got, want chaosRun) {
 // graph and Stats, with all recovery traffic segregated so that
 // TotalBytes - RetryBytes equals the fault-free communication bill.
 func TestChaosBitIdentical(t *testing.T) {
+	defer testutil.Watchdog(t, 8*time.Minute)()
 	data := familyDataset(t, 5, 67)
 	plans := []struct {
 		name string
@@ -146,7 +229,13 @@ func TestChaosBitIdentical(t *testing.T) {
 		)
 	}
 	var injected int64
-	for _, transport := range []string{"shared", "codec"} {
+	for _, transport := range []string{"shared", "codec", "tcp"} {
+		// The tcp rows run on real multi-process-shaped clusters (one per
+		// rank, loopback sockets); faults stack on top of the TCP backend.
+		runner := runChaosPipeline
+		if transport == "tcp" {
+			runner = runChaosPipelineTCP
+		}
 		for _, blocks := range []int{1, 3} {
 			for _, threads := range []int{1, 4} {
 				cfg := DefaultConfig()
@@ -154,7 +243,7 @@ func TestChaosBitIdentical(t *testing.T) {
 				cfg.Transport = transport
 				cfg.Blocks = blocks
 				cfg.Threads = threads
-				clean, err := runChaosPipeline(data.Records, 4, cfg)
+				clean, err := runner(data.Records, 4, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -164,7 +253,7 @@ func TestChaosBitIdentical(t *testing.T) {
 					faulty := cfg
 					plan := pl.plan
 					faulty.Faults = &plan
-					got, err := runChaosPipeline(data.Records, 4, faulty)
+					got, err := runner(data.Records, 4, faulty)
 					if err != nil {
 						t.Fatalf("%s: %v", name, err)
 					}

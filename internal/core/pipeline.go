@@ -62,7 +62,9 @@ func Run(comm *mpi.Comm, owned []fasta.Record, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Transport == "codec" {
+	if cfg.Transport == "codec" || cfg.Transport == "tcp" {
+		// tcp ranks live in separate address spaces: only the byte-codec
+		// block path can cross the wire.
 		grid.Backend = dmat.BackendCodec
 	}
 	clock := comm.Clock()
@@ -370,9 +372,9 @@ func validate(cfg Config) error {
 		}
 	}
 	switch cfg.Transport {
-	case "", "shared", "codec":
+	case "", "shared", "codec", "tcp":
 	default:
-		return fmt.Errorf("core: Config.Transport %q (want \"\", \"shared\" or \"codec\")", cfg.Transport)
+		return fmt.Errorf("core: Config.Transport %q (want \"\", \"shared\", \"codec\" or \"tcp\")", cfg.Transport)
 	}
 	return nil
 }

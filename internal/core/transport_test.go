@@ -1,17 +1,25 @@
 package core
 
 import (
+	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestTransportBackendsEquivalent is the pipeline-level differential test
-// for the transport layer: with Transport "shared" (the zero-copy default)
-// and "codec" (full byte serialization), the PSG edges, the Stats, and the
-// virtual-clock totals — MaxTime, TotalBytes, PeakBytes — must be
-// bit-identical across thread counts, wave counts and cluster sizes. The
-// shared path charges the analytically computed size of the encoding it
-// skips, so the clocks cannot drift apart without this test failing.
+// for the transport layer: with Transport "shared" (the zero-copy default),
+// "codec" (full byte serialization) and "tcp" (one cluster per rank over
+// real loopback sockets — the multi-process stack minus fork/exec), the PSG
+// edges, the Stats, and the virtual-clock totals — MaxTime, TotalBytes,
+// PeakBytes — must be bit-identical across thread counts, wave counts and
+// cluster sizes. The shared path charges the analytically computed size of
+// the encoding it skips, and the tcp relay reconstructs the simulator's
+// rendezvous state, so neither the clocks nor the graphs can drift apart
+// without this test failing.
 func TestTransportBackendsEquivalent(t *testing.T) {
+	defer testutil.Watchdog(t, 8*time.Minute)()
 	data := familyDataset(t, 5, 53)
 	for _, subs := range []int{0, 5} {
 		for _, variant := range []struct{ p, blocks, threads int }{
@@ -23,41 +31,61 @@ func TestTransportBackendsEquivalent(t *testing.T) {
 			cfg.Blocks = variant.blocks
 			cfg.Threads = variant.threads
 
+			name := fmt.Sprintf("subs=%d p=%d blocks=%d threads=%d",
+				subs, variant.p, variant.blocks, variant.threads)
 			cfg.Transport = "shared"
 			sharedEdges, sharedStats, sharedCl := runPipeline(t, data.Records, variant.p, cfg)
+			if len(sharedEdges) == 0 {
+				t.Fatalf("%s: no edges (weak test)", name)
+			}
+			shared := chaosRun{
+				edges: sharedEdges, stats: sharedStats,
+				total: sharedCl.TotalBytes(), peak: sharedCl.PeakBytes(),
+				maxTime: sharedCl.MaxTime(),
+			}
+
 			cfg.Transport = "codec"
 			codecEdges, codecStats, codecCl := runPipeline(t, data.Records, variant.p, cfg)
+			codec := chaosRun{
+				edges: codecEdges, stats: codecStats,
+				total: codecCl.TotalBytes(), peak: codecCl.PeakBytes(),
+				maxTime: codecCl.MaxTime(),
+			}
+			sameTransportRun(t, name+" codec", codec, shared)
 
-			name := func() string {
-				return "subs=" + string(rune('0'+subs)) + " variant"
-			}()
-			if !statsEqual(sharedStats, codecStats) {
-				t.Fatalf("%s p=%d blocks=%d threads=%d: stats differ: %+v vs %+v",
-					name, variant.p, variant.blocks, variant.threads, sharedStats, codecStats)
+			cfg.Transport = "tcp"
+			tcp, err := runChaosPipelineTCP(data.Records, variant.p, cfg)
+			if err != nil {
+				t.Fatalf("%s tcp: %v", name, err)
 			}
-			if len(sharedEdges) == 0 || len(sharedEdges) != len(codecEdges) {
-				t.Fatalf("%s p=%d blocks=%d threads=%d: %d edges (shared) vs %d (codec)",
-					name, variant.p, variant.blocks, variant.threads, len(sharedEdges), len(codecEdges))
-			}
-			for i := range sharedEdges {
-				if sharedEdges[i] != codecEdges[i] {
-					t.Fatalf("%s p=%d blocks=%d threads=%d: edge %d differs: %+v vs %+v",
-						name, variant.p, variant.blocks, variant.threads, i, sharedEdges[i], codecEdges[i])
-				}
-			}
-			if sharedCl.MaxTime() != codecCl.MaxTime() {
-				t.Errorf("%s p=%d blocks=%d threads=%d: MaxTime %g (shared) vs %g (codec)",
-					name, variant.p, variant.blocks, variant.threads, sharedCl.MaxTime(), codecCl.MaxTime())
-			}
-			if sharedCl.TotalBytes() != codecCl.TotalBytes() {
-				t.Errorf("%s p=%d blocks=%d threads=%d: TotalBytes %d (shared) vs %d (codec)",
-					name, variant.p, variant.blocks, variant.threads, sharedCl.TotalBytes(), codecCl.TotalBytes())
-			}
-			if sharedCl.PeakBytes() != codecCl.PeakBytes() {
-				t.Errorf("%s p=%d blocks=%d threads=%d: PeakBytes %d (shared) vs %d (codec)",
-					name, variant.p, variant.blocks, variant.threads, sharedCl.PeakBytes(), codecCl.PeakBytes())
-			}
+			sameTransportRun(t, name+" tcp", tcp, shared)
 		}
+	}
+}
+
+// sameTransportRun asserts one backend's run equals the shared-transport
+// reference bit for bit: edges, stats, and the virtual-clock totals.
+func sameTransportRun(t *testing.T, name string, got, want chaosRun) {
+	t.Helper()
+	if !statsEqual(got.stats, want.stats) {
+		t.Fatalf("%s: stats differ: %+v vs %+v", name, got.stats, want.stats)
+	}
+	if len(got.edges) != len(want.edges) {
+		t.Fatalf("%s: %d edges vs reference %d", name, len(got.edges), len(want.edges))
+	}
+	for i := range want.edges {
+		if got.edges[i] != want.edges[i] {
+			t.Fatalf("%s: edge %d differs: %+v vs %+v", name, i, got.edges[i], want.edges[i])
+		}
+	}
+	if got.maxTime != want.maxTime {
+		t.Errorf("%s: MaxTime %g, want %g", name, got.maxTime, want.maxTime)
+	}
+	if got.total != want.total {
+		t.Errorf("%s: TotalBytes %d, want %d", name, got.total, want.total)
+	}
+	if got.peak != want.peak {
+		t.Errorf("%s: PeakBytes %d, want %d", name, got.peak, want.peak)
 	}
 }
 
@@ -67,7 +95,7 @@ func TestTransportValidation(t *testing.T) {
 	if err := validate(cfg); err == nil {
 		t.Fatal("unknown transport accepted")
 	}
-	for _, ok := range []string{"", "shared", "codec"} {
+	for _, ok := range []string{"", "shared", "codec", "tcp"} {
 		cfg.Transport = ok
 		if err := validate(cfg); err != nil {
 			t.Fatalf("transport %q rejected: %v", ok, err)

@@ -152,10 +152,12 @@ type Config struct {
 	// zero-copy shared-memory path (collectives hand immutable references,
 	// charging the clock with the analytically computed wire bytes);
 	// "codec" forces full byte serialization — the deterministic reference
-	// path and future wire format. The similarity graph AND the virtual
-	// clock (Time, BytesOnWire, PeakBytes) are bit-identical between the
-	// two; "codec" exists for differential testing and as the template a
-	// real multi-process backend will follow.
+	// path and wire format. "tcp" selects the codec block path on a
+	// cluster whose ranks are separate OS processes exchanging
+	// length-prefixed checksummed frames over loopback TCP (mpi.LaunchTCP /
+	// mpi.NewTCPCluster); the pipeline itself is transport-agnostic and the
+	// similarity graph AND the virtual clock (Time, BytesOnWire, PeakBytes)
+	// are bit-identical across all three.
 	Transport string
 
 	// Faults, when non-nil, is the deterministic chaos schedule armed on the

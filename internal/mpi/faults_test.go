@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/testutil"
 )
 
 // faultProgram is a fixed distributed workload exercising every decorated
@@ -117,6 +120,7 @@ func TestZeroFaultPlanIdentity(t *testing.T) {
 // traffic segregated: TotalBytes - RetryBytes == clean TotalBytes, and the
 // run must be deterministic (same seed, same everything).
 func TestFaultRecoveryBitIdentical(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
 	clean, err := runFaultProgram(t, 4, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +157,7 @@ func TestFaultRecoveryBitIdentical(t *testing.T) {
 // with an error wrapping ErrRankCrashed instead of deadlocking in the
 // collective the crashed rank never joins.
 func TestRankCrashAbortsCluster(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
 	plan := &FaultPlan{Seed: 3, RankCrash: map[int]int{2: 3}}
 	run, err := runFaultProgram(t, 4, plan)
 	if err == nil {
@@ -169,6 +174,7 @@ func TestRankCrashAbortsCluster(t *testing.T) {
 // An abort must also wake ranks blocked in point-to-point receives, not just
 // collectives.
 func TestAbortUnblocksRecv(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
 	cl := NewCluster(2, DefaultCostModel())
 	err := cl.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
@@ -185,6 +191,7 @@ func TestAbortUnblocksRecv(t *testing.T) {
 
 // Retries must exhaust (and abort cleanly) when every attempt draws a fault.
 func TestRetriesExhausted(t *testing.T) {
+	defer testutil.Watchdog(t, time.Minute)()
 	plan := &FaultPlan{Seed: 1, DropProb: 1.0, MaxRetries: 3}
 	_, err := runFaultProgram(t, 4, plan)
 	if !errors.Is(err, ErrRetriesExhausted) {

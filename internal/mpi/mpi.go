@@ -311,7 +311,11 @@ func (r *router) box(k mailKey) *mailbox {
 	return mb
 }
 
-// Cluster is a virtual machine of p ranks sharing a cost model.
+// Cluster is a virtual machine of p ranks sharing a cost model. With the
+// default in-process backend all p ranks live here as goroutines; a
+// tcp-backed cluster (NewTCPCluster) owns exactly one local rank and
+// reaches the other p-1 over the tcp transport, in which case the
+// aggregate readers (MaxTime, TotalBytes, ...) cover the local rank only.
 type Cluster struct {
 	size       int
 	model      CostModel
@@ -319,6 +323,7 @@ type Cluster struct {
 	clocks     []*Clock
 	nextCommID uint64 // guarded by router.mu; 0 is the world communicator
 	faults     *faultInjector
+	tcp        *tcpTransport              // non-nil on a tcp-backed cluster
 	abortErr   atomic.Pointer[abortCause] // first abort cause wins
 }
 
@@ -355,6 +360,9 @@ func (cl *Cluster) abort(err error) {
 		st.mu.Lock()
 		st.cond.Broadcast()
 		st.mu.Unlock()
+	}
+	if cl.tcp != nil {
+		cl.tcp.poison(err)
 	}
 }
 
@@ -405,8 +413,12 @@ func NewCluster(p int, model CostModel) *Cluster {
 // all of them. A rank returning an error (or panicking) aborts the cluster
 // so peers blocked in collectives or receives fail instead of deadlocking;
 // the root cause — the first error that is not itself the abort echo — is
-// returned, and the cluster is quiescent afterwards.
+// returned, and the cluster is quiescent afterwards. On a tcp-backed
+// cluster fn runs once, for the single local rank.
 func (cl *Cluster) Run(fn func(*Comm) error) error {
+	if cl.tcp != nil {
+		return cl.runTCP(fn)
+	}
 	errs := make([]error, cl.size)
 	var wg sync.WaitGroup
 	for r := 0; r < cl.size; r++ {
@@ -528,10 +540,20 @@ type Comm struct {
 	id      uint64
 	rank    int // rank within this communicator
 	size    int
-	world   int // world rank of this process
+	world   int   // world rank of this process
+	worlds  []int // comm rank -> world rank; nil on the world comm (identity)
 	clock   *Clock
 	collSeq *uint64 // per-rank sequence number of collective calls on this comm
 	sendSeq *uint64 // per-rank sequence number of point-to-point sends on this comm
+}
+
+// worldOf maps a communicator-local rank to its world rank (where the tcp
+// transport addresses its process).
+func (c *Comm) worldOf(rank int) int {
+	if c.worlds == nil {
+		return rank
+	}
+	return c.worlds[rank]
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -567,6 +589,9 @@ func (c *Comm) sendE(dst, tag int, data []byte, extraLatency float64) error {
 	c.clock.sent += int64(len(data))
 	c.clock.messages++
 	arrival := c.clock.now + m.Alpha + float64(len(data))*m.Beta + extraLatency
+	if t := c.cluster.tcp; t != nil && dst != c.rank {
+		return t.sendP2P(c.worldOf(dst), c.id, c.rank, dst, tag, arrival, data)
+	}
 	c.cluster.router.box(mailKey{comm: c.id, src: c.rank, dst: dst, tag: tag}).
 		put(message{data: data, arrival: arrival})
 	return nil
@@ -587,8 +612,14 @@ func (c *Comm) recvE(src, tag int) ([]byte, error) {
 	if src < 0 || src >= c.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d of %d", src, c.size)
 	}
-	msg, err := c.cluster.router.box(mailKey{comm: c.id, src: src, dst: c.rank, tag: tag}).
-		take(c.cluster.Aborted)
+	mb := c.cluster.router.box(mailKey{comm: c.id, src: src, dst: c.rank, tag: tag})
+	var msg message
+	var err error
+	if c.cluster.tcp != nil {
+		msg, err = c.tcpTake(mb)
+	} else {
+		msg, err = mb.take(c.cluster.Aborted)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -720,6 +751,14 @@ func (c *Comm) rendezvous(data []byte, extra int64) (*collState, error) {
 // arrived the collective completes even if an abort races in, so completed
 // collectives stay consistent across ranks.
 func (c *Comm) rendezvousVal(data []byte, extra int64, val any) (*collState, error) {
+	if c.cluster.tcp != nil {
+		// Byte collectives relay through the transport; the shared (by
+		// reference) collectives are gated off before reaching here.
+		if val != nil {
+			return nil, ErrSharedOverTCP
+		}
+		return c.tcpRendezvous(data, extra)
+	}
 	*c.collSeq++
 	key := collKey{comm: c.id, seq: *c.collSeq}
 	st := c.cluster.coll(key, c.size)
@@ -1061,12 +1100,17 @@ func (c *Comm) TrySplit(color, key int) (*Comm, error) {
 	}
 	newID := st.derived[color]
 	st.mu.Unlock()
+	worlds := make([]int, len(group))
+	for i, mb := range group {
+		worlds[i] = mb.world
+	}
 	return &Comm{
 		cluster: c.cluster,
 		id:      newID,
 		rank:    newRank,
 		size:    len(group),
 		world:   c.world,
+		worlds:  worlds,
 		clock:   c.clock,
 		collSeq: new(uint64),
 		sendSeq: new(uint64),

@@ -1,0 +1,267 @@
+// Process launcher for the tcp transport: fork one worker per rank, wire
+// the listen addresses, collect exit codes.
+//
+// The address-exchange protocol is line-based and symmetric:
+//
+//  1. each worker listens on 127.0.0.1:0 and prints its address as the
+//     first line of stdout ("PASTIS-TCP-ADDR host:port");
+//  2. the launcher reads one address per worker, then writes all of them —
+//     one per line, rank order — to every worker's stdin;
+//  3. each worker builds its mesh (NewTCPCluster) and runs.
+//
+// Worker stderr streams to a per-rank log file (rank 0's is also mirrored
+// to the launcher's stderr), rank 0's remaining stdout streams to the
+// launcher's stdout, and the first failing rank's exit status is reported.
+// Stragglers need no explicit kill: an aborting rank broadcasts its cause
+// over the mesh, and a vanished one surfaces through the bounded
+// handshake/read deadlines.
+package mpi
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// tcpAddrPrefix marks the address line a worker prints first on stdout.
+const tcpAddrPrefix = "PASTIS-TCP-ADDR "
+
+// StartTCPWorker is the worker half of the launcher protocol: listen,
+// print the address line to out, read size peer addresses (one per line)
+// from in, and build the mesh. The returned cluster is connected and ready
+// for Run; the caller owns Close.
+func StartTCPWorker(rank, size int, model CostModel, in io.Reader, out io.Writer) (*Cluster, error) {
+	if size == 1 {
+		return NewTCPCluster(TCPOptions{Rank: 0, Size: 1, Model: model})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp worker %d: %w", rank, err)
+	}
+	if _, err := fmt.Fprintf(out, "%s%s\n", tcpAddrPrefix, ln.Addr()); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("mpi: tcp worker %d announcing address: %w", rank, err)
+	}
+	br := bufio.NewReader(in)
+	peers := make([]string, size)
+	for i := range peers {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("mpi: tcp worker %d reading peer %d address: %w", rank, i, err)
+		}
+		peers[i] = strings.TrimSpace(line)
+	}
+	return NewTCPCluster(TCPOptions{Rank: rank, Size: size, Model: model, Listener: ln, Peers: peers})
+}
+
+// TCPLaunch configures LaunchTCP.
+type TCPLaunch struct {
+	Procs   int                     // worker process count (one rank each)
+	Command string                  // worker binary
+	Args    func(rank int) []string // per-rank argv (without the command)
+	Env     func(rank int) []string // extra environment, appended to os.Environ; nil = none
+	// LogDir receives one rank-N.log per worker (stderr). Required: worker
+	// logs are the only forensics when a remote rank dies, and CI uploads
+	// them as artifacts on failure.
+	LogDir string
+	Stdout io.Writer // rank 0's stdout after the address line; nil discards
+	Stderr io.Writer // rank 0's stderr, mirrored alongside its log; nil = log only
+	// StartTimeout bounds the wait for every worker's address line
+	// (default 30s). Expiry kills the fleet.
+	StartTimeout time.Duration
+}
+
+// TCPWorkerError reports the first failing worker of a launch, keeping the
+// process exit status reachable via errors.As.
+type TCPWorkerError struct {
+	Rank int
+	Log  string // path of the rank's stderr log
+	Err  error
+}
+
+func (e *TCPWorkerError) Error() string {
+	return fmt.Sprintf("mpi: tcp worker rank %d: %v (log: %s)", e.Rank, e.Err, e.Log)
+}
+
+func (e *TCPWorkerError) Unwrap() error { return e.Err }
+
+// LaunchTCP forks l.Procs worker processes, runs the address exchange, and
+// waits for all of them. The lowest failing rank decides the returned
+// error.
+func LaunchTCP(l TCPLaunch) error {
+	if l.Procs <= 0 {
+		return fmt.Errorf("mpi: launch of %d tcp workers", l.Procs)
+	}
+	if l.LogDir == "" {
+		return fmt.Errorf("mpi: tcp launch needs a log directory")
+	}
+	if err := os.MkdirAll(l.LogDir, 0o777); err != nil {
+		return fmt.Errorf("mpi: tcp launch: %w", err)
+	}
+	startTimeout := l.StartTimeout
+	if startTimeout <= 0 {
+		startTimeout = 30 * time.Second
+	}
+
+	type worker struct {
+		cmd    *exec.Cmd
+		stdin  io.WriteCloser
+		stdout *bufio.Reader
+		log    *os.File
+	}
+	workers := make([]*worker, l.Procs)
+	kill := func() {
+		for _, w := range workers {
+			if w != nil && w.cmd.Process != nil {
+				w.cmd.Process.Kill()
+			}
+		}
+	}
+	// waitAll reaps killed workers on the early-failure paths (no zombies)
+	// and closes their logs.
+	waitAll := func() {
+		for _, w := range workers {
+			if w != nil {
+				w.cmd.Wait()
+				w.log.Close()
+			}
+		}
+	}
+	logPath := func(rank int) string {
+		return filepath.Join(l.LogDir, fmt.Sprintf("rank-%d.log", rank))
+	}
+	for rank := 0; rank < l.Procs; rank++ {
+		logf, err := os.Create(logPath(rank))
+		if err != nil {
+			kill()
+			return fmt.Errorf("mpi: tcp launch rank %d log: %w", rank, err)
+		}
+		var args []string
+		if l.Args != nil {
+			args = l.Args(rank)
+		}
+		cmd := exec.Command(l.Command, args...)
+		if l.Env != nil {
+			cmd.Env = append(os.Environ(), l.Env(rank)...)
+		}
+		stderr := io.Writer(logf)
+		if rank == 0 && l.Stderr != nil {
+			stderr = io.MultiWriter(logf, l.Stderr)
+		}
+		cmd.Stderr = stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			logf.Close()
+			kill()
+			return fmt.Errorf("mpi: tcp launch rank %d stdin: %w", rank, err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			logf.Close()
+			kill()
+			return fmt.Errorf("mpi: tcp launch rank %d stdout: %w", rank, err)
+		}
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			kill()
+			return fmt.Errorf("mpi: tcp launch rank %d: %w", rank, err)
+		}
+		workers[rank] = &worker{cmd: cmd, stdin: stdin, stdout: bufio.NewReader(stdout), log: logf}
+	}
+
+	// Collect every worker's address line, bounded by the start timeout.
+	type addrLine struct {
+		rank int
+		addr string
+		err  error
+	}
+	addrCh := make(chan addrLine, l.Procs)
+	for rank, w := range workers {
+		go func(rank int, w *worker) {
+			line, err := w.stdout.ReadString('\n')
+			if err == nil && !strings.HasPrefix(line, tcpAddrPrefix) {
+				err = fmt.Errorf("first stdout line %q is not an address line", strings.TrimSpace(line))
+			}
+			addrCh <- addrLine{rank: rank, addr: strings.TrimSpace(strings.TrimPrefix(line, tcpAddrPrefix)), err: err}
+		}(rank, w)
+	}
+	addrs := make([]string, l.Procs)
+	timeout := time.After(startTimeout)
+	for n := 0; n < l.Procs; n++ {
+		select {
+		case got := <-addrCh:
+			if got.err != nil {
+				kill()
+				waitAll()
+				return &TCPWorkerError{Rank: got.rank, Log: logPath(got.rank),
+					Err: fmt.Errorf("reading address line: %w", got.err)}
+			}
+			addrs[got.rank] = got.addr
+		case <-timeout:
+			kill()
+			waitAll()
+			return fmt.Errorf("mpi: tcp launch: %d of %d workers announced within %v: %w",
+				n, l.Procs, startTimeout, ErrTCPTimeout)
+		}
+	}
+	wiring := strings.Join(addrs, "\n") + "\n"
+	for rank, w := range workers {
+		if _, err := io.WriteString(w.stdin, wiring); err != nil {
+			kill()
+			waitAll()
+			return &TCPWorkerError{Rank: rank, Log: logPath(rank),
+				Err: fmt.Errorf("writing peer addresses: %w", err)}
+		}
+		w.stdin.Close()
+	}
+
+	// Stream the remaining stdout: rank 0 to the caller, others to their
+	// logs (a worker that prints off-protocol output should not stall).
+	var pumps []chan struct{}
+	for rank, w := range workers {
+		dst := io.Writer(w.log)
+		if rank == 0 {
+			if l.Stdout != nil {
+				dst = l.Stdout
+			} else {
+				dst = io.Discard
+			}
+		}
+		done := make(chan struct{})
+		pumps = append(pumps, done)
+		go func(dst io.Writer, src io.Reader, done chan struct{}) {
+			io.Copy(dst, src)
+			close(done)
+		}(dst, w.stdout, done)
+	}
+	for _, done := range pumps {
+		<-done
+	}
+	var first error
+	for rank, w := range workers {
+		err := w.cmd.Wait()
+		w.log.Close()
+		if err != nil && first == nil {
+			first = &TCPWorkerError{Rank: rank, Log: logPath(rank), Err: err}
+		}
+	}
+	return first
+}
+
+// ExitCode extracts the process exit status from a LaunchTCP error, or -1
+// when the error carries none.
+func ExitCode(err error) int {
+	var exit *exec.ExitError
+	if errors.As(err, &exit) {
+		return exit.ExitCode()
+	}
+	return -1
+}

@@ -50,6 +50,10 @@ func TryBcastShared[T any](c *Comm, root int, v T, wireBytes int64) (out T, err 
 }
 
 func bcastSharedE[T any](c *Comm, root int, v T, wireBytes int64) (T, error) {
+	if c.cluster.tcp != nil {
+		var zero T
+		return zero, ErrSharedOverTCP
+	}
 	var deposit any
 	var wire int64
 	if c.rank == root {
@@ -98,6 +102,9 @@ func TryAlltoallvShared[T any](c *Comm, vals []T, wire []int64) (out []T, err er
 }
 
 func alltoallvSharedE[T any](c *Comm, vals []T, wire []int64) ([]T, error) {
+	if c.cluster.tcp != nil {
+		return nil, ErrSharedOverTCP
+	}
 	if len(vals) != c.size || len(wire) != c.size {
 		return nil, errMismatchedBuffers(c.size, len(vals))
 	}
@@ -154,6 +161,9 @@ func TryGathervShared[T any](c *Comm, root int, v T, wireBytes int64) (out []T, 
 }
 
 func gathervSharedE[T any](c *Comm, root int, v T, wireBytes int64) ([]T, error) {
+	if c.cluster.tcp != nil {
+		return nil, ErrSharedOverTCP
+	}
 	st, err := c.rendezvousVal(nil, wireBytes, v)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,30 @@
+// Package testutil holds small helpers shared by the test suites.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Watchdog arms a deadline on the calling test: if the returned stop
+// function has not run after d, the watchdog dumps every goroutine stack to
+// stderr, marks the test failed, and panics so the process dies instead of
+// hanging until the CI job timeout. Cross-rank tests (collectives, chaos
+// schedules, the tcp transport) use it so a deadlock fails with a readable
+// dump:
+//
+//	defer testutil.Watchdog(t, 2*time.Minute)()
+func Watchdog(t testing.TB, d time.Duration) (stop func()) {
+	timer := time.AfterFunc(d, func() {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		fmt.Fprintf(os.Stderr, "\n=== watchdog: %s still running after %v; goroutine dump ===\n%s\n",
+			t.Name(), d, buf)
+		t.Errorf("watchdog: test exceeded %v (likely deadlock); see goroutine dump", d)
+		panic(fmt.Sprintf("watchdog: %s exceeded %v", t.Name(), d))
+	})
+	return func() { timer.Stop() }
+}

@@ -62,6 +62,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/cc"
@@ -198,11 +199,6 @@ func BuildGraphContext(ctx context.Context, records []Record, nodes int, cfg Con
 	if len(records) == 0 {
 		return nil, fmt.Errorf("pastis: empty input")
 	}
-	// Render to FASTA bytes and chunk exactly as the parallel reader would,
-	// so rank ownership follows the paper's byte-balanced partition.
-	data := fasta.Bytes(records, 0)
-	chunks := fasta.SplitBytes(int64(len(data)), nodes)
-
 	out := &Result{Nodes: nodes}
 	cl := mpi.NewCluster(nodes, model)
 	if cfg.Faults != nil {
@@ -220,36 +216,156 @@ func BuildGraphContext(ctx context.Context, records []Record, nodes int, cfg Con
 		}()
 	}
 	err := cl.Run(func(c *mpi.Comm) error {
-		chunk := chunks[c.Rank()]
-		owned, err := fasta.ParseChunk(data, chunk.Begin, chunk.End)
-		if err != nil {
-			return err
-		}
-		res, err := core.Run(c, owned, cfg)
-		if err != nil {
-			return err
-		}
-		edges, err := core.GatherEdges(c, res.Edges)
+		res, err := RunRank(c, records, cfg)
 		if err != nil {
 			return err
 		}
 		if c.Rank() == 0 {
-			out.Edges = edges
-			out.Stats = res.Stats
-			out.EffectiveBlocks = res.EffectiveBlocks
+			*out = *res
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sortEdges(out.Edges)
-	out.Time = cl.MaxTime()
-	out.Sections = cl.SectionMax()
-	out.BytesOnWire = cl.TotalBytes()
-	out.PeakBytes = cl.PeakBytes()
-	out.RetryBytes = cl.RetryBytes()
 	return out, nil
+}
+
+// RunRank executes one rank's share of the all-vs-all pipeline on an
+// existing communicator: partition the records with the paper's
+// byte-balanced FASTA chunking, run the pipeline, gather the graph, and
+// reduce the cluster-wide totals (virtual makespan, byte bills, section
+// maxima) with collectives. It is the building block behind BuildGraph and
+// the per-process body of a multi-process (tcp transport) run, where no
+// single address space sees every rank's clock. Every rank returns the same
+// aggregated totals; rank 0's Result additionally carries the sorted edge
+// list. records must be the full input on every rank.
+func RunRank(c *mpi.Comm, records []Record, cfg Config) (*Result, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("pastis: empty input")
+	}
+	data := fasta.Bytes(records, 0)
+	chunks := fasta.SplitBytes(int64(len(data)), c.Size())
+	chunk := chunks[c.Rank()]
+	owned, err := fasta.ParseChunk(data, chunk.Begin, chunk.End)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(c, owned, cfg)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := core.GatherEdges(c, res.Edges)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the local ledger first: the aggregation collectives below
+	// advance the clock past this point, so reducing snapshots reproduces
+	// exactly what a whole-cluster reader would report here.
+	clk := c.Clock()
+	now := clk.Now()
+	sent := clk.BytesSent()
+	peak := clk.PeakBytes()
+	retry := clk.RetryBytes()
+	sections := clk.Sections()
+	// math.Float64bits is order-preserving on non-negative floats, so a max
+	// over the bit patterns is a max over the times.
+	bits, err := c.TryAllreduceInt64("max", int64(math.Float64bits(now)))
+	if err != nil {
+		return nil, err
+	}
+	total, err := c.TryAllreduceInt64("sum", sent)
+	if err != nil {
+		return nil, err
+	}
+	peakAll, err := c.TryAllreduceInt64("max", peak)
+	if err != nil {
+		return nil, err
+	}
+	retryAll, err := c.TryAllreduceInt64("sum", retry)
+	if err != nil {
+		return nil, err
+	}
+	secAll, err := reduceSectionsMax(c, sections)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Stats:           res.Stats,
+		Nodes:           c.Size(),
+		Time:            math.Float64frombits(uint64(bits)),
+		Sections:        secAll,
+		BytesOnWire:     total,
+		PeakBytes:       peakAll,
+		RetryBytes:      retryAll,
+		EffectiveBlocks: res.EffectiveBlocks,
+	}
+	if c.Rank() == 0 {
+		out.Edges = edges
+		sortEdges(out.Edges)
+	}
+	return out, nil
+}
+
+// reduceSectionsMax merges the per-component time ledgers as the maximum
+// over ranks (the dissection-plot convention of Cluster.SectionMax).
+func reduceSectionsMax(c *mpi.Comm, local map[string]float64) (map[string]float64, error) {
+	names := make([]string, 0, len(local))
+	for name := range local {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := make([]byte, 0, 16+24*len(names))
+	buf = appendU64s(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = appendU64s(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = appendU64s(buf, math.Float64bits(local[name]))
+	}
+	parts, err := c.TryAllgather(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for rank, p := range parts {
+		off := 0
+		count, off, err := getU64s(p, off)
+		if err != nil {
+			return nil, fmt.Errorf("pastis: sections from rank %d: %w", rank, err)
+		}
+		for i := uint64(0); i < count; i++ {
+			var n uint64
+			n, off, err = getU64s(p, off)
+			if err != nil || off+int(n) > len(p) {
+				return nil, fmt.Errorf("pastis: sections from rank %d: truncated name", rank)
+			}
+			name := string(p[off : off+int(n)])
+			off += int(n)
+			var bits uint64
+			bits, off, err = getU64s(p, off)
+			if err != nil {
+				return nil, fmt.Errorf("pastis: sections from rank %d: %w", rank, err)
+			}
+			if v := math.Float64frombits(bits); v > out[name] {
+				out[name] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+func appendU64s(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func getU64s(b []byte, off int) (uint64, int, error) {
+	if off+8 > len(b) {
+		return 0, off, fmt.Errorf("truncated u64 at offset %d of %d", off, len(b))
+	}
+	v := uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 | uint64(b[off+3])<<24 |
+		uint64(b[off+4])<<32 | uint64(b[off+5])<<40 | uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+	return v, off + 8, nil
 }
 
 // MMseqs2Config configures the MMseqs2-like baseline.
